@@ -1,0 +1,33 @@
+"""Shared infrastructure for the paper-regeneration benchmarks.
+
+Each benchmark regenerates one table/figure of the paper, times it with
+pytest-benchmark, prints the resulting rows and archives them under
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+
+Sizing: sweeps default to a 256 x 256 matrix (the paper uses 512 x 512 —
+the shapes are scale-invariant, see tests/integration).  Set
+``REPRO_FULL=1`` to regenerate at the paper's exact sizes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Print a rendered table and archive it under benchmarks/results/."""
+
+    def _record(table, name: str):
+        text = table.render()
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        (RESULTS_DIR / f"{name}.csv").write_text(table.to_csv())
+        return table
+
+    return _record

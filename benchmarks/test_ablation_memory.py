@@ -1,0 +1,18 @@
+"""X2 — Ablation: RAM latency x buffer count (design-space check).
+
+Not a paper figure: quantifies how the speedup and CPU-wait react to the
+memory latency and the FE buffer provisioning that Table 1 fixes.
+"""
+
+from repro.analysis import ablation_memory
+
+
+def test_ablation_memory(benchmark, record_table):
+    table = benchmark.pedantic(ablation_memory, rounds=1, iterations=1)
+    record_table(table, "ablation_memory")
+
+    rows = {(r[0], r[1]): (r[2], r[3]) for r in table.rows}
+    # Higher RAM latency makes the baseline's gathers worse -> more gain.
+    assert rows[(8, 2)][0] > rows[(1, 2)][0]
+    # Buffers never hurt.
+    assert rows[(2, 4)][0] >= rows[(2, 1)][0] - 0.02

@@ -1,0 +1,24 @@
+"""X5 — Extension: metadata-overhead share of baseline cycles (Section 2).
+
+Quantifies the paper's motivation (and the EXPRESS study [23] it cites):
+the fraction of baseline kernel cycles spent locating non-zeros — the
+column-index loads, index arithmetic and indexed gathers the HHT
+offloads.
+"""
+
+from repro.analysis import metadata_overhead_table
+
+
+def test_ext_metadata_overhead(benchmark, record_table):
+    table = benchmark.pedantic(
+        metadata_overhead_table, rounds=1, iterations=1,
+        kwargs={"size": 128, "sparsities": (0.1, 0.3, 0.5, 0.7, 0.9)},
+    )
+    record_table(table, "ext_metadata_overhead")
+
+    spmv = table.column("spmv_meta_share")
+    spmspv = table.column("spmspv_meta_share")
+    # A substantial share of baseline cycles is metadata traversal…
+    assert all(0.3 < s < 0.8 for s in spmv)
+    # …and SpMSpV's double indirection costs more than SpMV's single one.
+    assert all(b > a for a, b in zip(spmv, spmspv))

@@ -1,0 +1,18 @@
+"""X1 — Extension: Texas A&M-style >90%-sparse .mtx corpus.
+
+Paper: 'The speedup results are inline with those for synthetic
+workloads noting that Texas A&M Sparse Matrix data has very high
+sparsity levels (greater than 90%).'
+"""
+
+from repro.analysis import ext_mtx_corpus
+
+
+def test_ext_mtx_corpus(benchmark, record_table):
+    table = benchmark.pedantic(ext_mtx_corpus, rounds=1, iterations=1)
+    record_table(table, "ext_mtx_corpus")
+
+    speedups = table.column("speedup")
+    # High-sparsity regime: consistent with the 90%-sparsity synthetic
+    # points (speedups above 1 but below the dense-row asymptote).
+    assert all(1.1 < s < 2.0 for s in speedups)

@@ -1,0 +1,26 @@
+"""X4 — Extension (Sections 6-7): programmable HHT vs ASIC across formats.
+
+The paper's conclusion proposes a RISC-V-like helper core so one HHT
+handles CSR, COO, bit-vector and SMASH; Section 6 reports that SMASH's
+complicated indexing made the HHT the bottleneck ("causing CPU to
+idle").  This benchmark quantifies the flexibility/throughput trade-off.
+"""
+
+from repro.analysis import ext_programmable_hht
+
+
+def test_ext_programmable_hht(benchmark, record_table):
+    table = benchmark.pedantic(ext_programmable_hht, rounds=1, iterations=1)
+    record_table(table, "ext_programmable_hht")
+
+    rows = {(r[0], r[1]): r for r in table.rows}
+    asic_speedup = rows[("asic-hht", "csr")][3]
+    assert asic_speedup > 1.3
+    # Flexibility costs throughput: every firmware is slower than the
+    # fixed-function engine, and the CPU idles substantially.
+    for fmt in ("csr", "coo", "bitvector", "smash"):
+        row = rows[("prog-hht", fmt)]
+        assert row[3] < asic_speedup
+        assert row[4] > 0.3   # cpu_wait_fraction
+    # SMASH is the heaviest metadata walk (Section 6).
+    assert rows[("prog-hht", "smash")][2] >= rows[("prog-hht", "csr")][2]

@@ -1,0 +1,21 @@
+"""F4 — Fig. 4: SpMV speedup over the CPU-only baseline, 1 and 2 buffers.
+
+Paper: averages 1.70 (1 buffer) and 1.73 (2 buffers); speedups roughly
+flat across sparsity with slightly smaller gains at higher sparsities.
+"""
+
+from repro.analysis import fig4_spmv_speedup
+
+
+def test_fig4_spmv_speedup(benchmark, record_table):
+    table = benchmark.pedantic(fig4_spmv_speedup, rounds=1, iterations=1)
+    record_table(table, "fig4_spmv_speedup")
+
+    for col in ("Dedicated_HHT_1buffer", "Dedicated_HHT_2buffer"):
+        speedups = table.column(col)
+        assert all(s > 1.3 for s in speedups), col
+        # Gains shrink at higher sparsity (paper Section 5.1).
+        assert speedups[0] > speedups[-1]
+    ones = table.column("Dedicated_HHT_1buffer")
+    twos = table.column("Dedicated_HHT_2buffer")
+    assert all(b >= a - 0.02 for a, b in zip(ones, twos))

@@ -1,0 +1,13 @@
+"""F6 — Fig. 6: fraction of execution the CPU idles waiting for the HHT
+during SpMV.  Paper: 'With an ASIC HHT, the application CPU rarely waits.'
+"""
+
+from repro.analysis import fig6_spmv_wait
+
+
+def test_fig6_spmv_wait(benchmark, record_table):
+    table = benchmark.pedantic(fig6_spmv_wait, rounds=1, iterations=1)
+    record_table(table, "fig6_spmv_wait")
+
+    assert all(w < 0.05 for w in table.column("HHT_2buffer"))
+    assert all(w < 0.10 for w in table.column("HHT_1buffer"))

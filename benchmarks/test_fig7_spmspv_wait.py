@@ -1,0 +1,19 @@
+"""F7 — Fig. 7: CPU wait fractions for SpMSpV.
+
+Paper: with variant-1 the CPU 'is idling for a significant fraction of
+the total execution time'; variant-2 reduces the idle time
+significantly; two buffers show only minor improvements.
+"""
+
+from repro.analysis import fig7_spmspv_wait
+
+
+def test_fig7_spmspv_wait(benchmark, record_table):
+    table = benchmark.pedantic(fig7_spmspv_wait, rounds=1, iterations=1)
+    record_table(table, "fig7_spmspv_wait")
+
+    v1 = table.column("v1_2buffer")
+    v2 = table.column("v2_2buffer")
+    assert max(v1) > 0.3                      # variant-1 idles significantly
+    assert all(b <= a + 0.02 for a, b in zip(v1, v2))  # variant-2 reduces it
+    assert all(w < 0.10 for w in v2)

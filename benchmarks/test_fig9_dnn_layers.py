@@ -1,0 +1,13 @@
+"""F9 — Fig. 9: HHT speedup on the final fully-connected layers of seven
+DNNs.  Paper: 1.53x (DenseNet) to 1.92x (VGG19)."""
+
+from repro.analysis import fig9_dnn_layers
+
+
+def test_fig9_dnn_layers(benchmark, record_table):
+    table = benchmark.pedantic(fig9_dnn_layers, rounds=1, iterations=1)
+    record_table(table, "fig9_dnn_layers")
+
+    speedups = table.column("speedup")
+    assert len(speedups) == 7
+    assert all(1.4 < s < 2.3 for s in speedups)

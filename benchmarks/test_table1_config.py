@@ -1,0 +1,11 @@
+"""T1 — Table 1: the system configuration actually simulated."""
+
+from repro.analysis import table1_config
+
+
+def test_table1_config(benchmark, record_table):
+    table = benchmark.pedantic(table1_config, rounds=1, iterations=1)
+    record_table(table, "table1_config")
+    values = " ".join(str(cell) for row in table.rows for cell in row)
+    assert "1.1 GHz" in values
+    assert "N=2 Buffers" in values

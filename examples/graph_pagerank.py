@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Graph analytics on the HHT: PageRank by repeated SpMV.
+
+The paper's introduction motivates SpMV with graph workloads (label
+propagation, centrality, multi-source BFS).  This example builds a small
+scale-free web graph with networkx, forms the damped PageRank iteration
+matrix, and runs power iterations on the simulated CPU+HHT system,
+accumulating the cycle cost of every iteration.
+
+Run:  python examples/graph_pagerank.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.analysis import run_spmv
+from repro.workloads.graphs import pagerank_matrix, pagerank_reference
+
+DAMPING = 0.85
+ITERATIONS = 12
+
+
+def main() -> None:
+    graph = nx.barabasi_albert_graph(96, 3, seed=11)
+    matrix = pagerank_matrix(graph, damping=DAMPING)
+    n = matrix.nrows
+    print("=== PageRank on the simulated CPU + HHT system ===")
+    print(f"graph        : {n} nodes, {graph.number_of_edges()} edges "
+          f"(Barabasi-Albert)")
+    print(f"matrix       : {matrix.sparsity:.1%} sparse, "
+          f"{matrix.nnz} non-zeros\n")
+
+    teleport = np.float32((1.0 - DAMPING) / n)
+    rank = np.full(n, 1.0 / n, dtype=np.float32)
+
+    totals = {"baseline": 0, "hht": 0}
+    for it in range(ITERATIONS):
+        base = run_spmv(matrix, rank, hht=False, verify=False)
+        hht = run_spmv(matrix, rank, hht=True, verify=False)
+        assert np.array_equal(base.y, hht.y)
+        totals["baseline"] += base.cycles
+        totals["hht"] += hht.cycles
+        rank = hht.y + teleport
+        if it < 3 or it == ITERATIONS - 1:
+            print(f"iteration {it:2d}: {hht.cycles:,} cycles (HHT), "
+                  f"rank mass = {rank.sum():.4f}")
+
+    print(f"\ntotal baseline cycles : {totals['baseline']:,}")
+    print(f"total HHT cycles      : {totals['hht']:,}")
+    print(f"speedup               : "
+          f"{totals['baseline'] / totals['hht']:.2f}x")
+
+    # Verify against a float64 power-iteration reference.
+    ref = pagerank_reference(matrix, damping=DAMPING, iterations=ITERATIONS)
+    assert np.allclose(rank, ref, atol=1e-4)
+    top5 = np.argsort(rank)[::-1][:5]
+    print("\ntop-5 nodes by PageRank (simulated == reference ✓):")
+    for node in top5:
+        print(f"  node {int(node):3d}  rank {rank[node]:.5f}  "
+              f"degree {graph.degree(int(node))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The programmable HHT (paper Section 7) across four sparse formats.
+
+The paper's conclusion proposes replacing the fixed-function back-end
+with "a simple RISCV like core" so one HHT can handle CSR, COO,
+bit-vector and SMASH representations.  This example runs the *same*
+matrix and the *same* consumer kernel against all four firmwares, plus
+the ASIC engine and the CPU-only baseline, making the flexibility-vs-
+throughput trade-off concrete.
+
+Run:  python examples/programmable_hht.py
+"""
+
+import numpy as np
+
+from repro.analysis import run_spmv, run_spmv_programmable
+from repro.kernels import SUPPORTED_FORMATS, firmware_spmv_csr
+from repro.power import (
+    area_ratio_vs_ibex,
+    programmable_area_ratio_vs_ibex,
+)
+from repro.workloads import random_csr, random_dense_vector
+
+
+def main() -> None:
+    matrix = random_csr((96, 96), sparsity=0.7, seed=31)
+    v = random_dense_vector(96, seed=32)
+    ref = matrix.to_dense().astype(np.float64) @ v.astype(np.float64)
+
+    print("=== programmable HHT: one consumer kernel, four formats ===")
+    print(f"matrix: {matrix.nrows}x{matrix.ncols}, "
+          f"{matrix.sparsity:.0%} sparse, {matrix.nnz} nnz")
+    fw = firmware_spmv_csr()
+    print(f"CSR firmware: {len(fw)} helper-core instructions "
+          f"(integer subset only)\n")
+
+    base = run_spmv(matrix, v, hht=False)
+    asic = run_spmv(matrix, v, hht=True)
+    print(f"{'backend':<14} {'format':<10} {'cycles':>9} "
+          f"{'speedup':>8} {'CPU idle':>9}")
+    print("-" * 55)
+    print(f"{'cpu-only':<14} {'csr':<10} {base.cycles:>9,} {'1.00x':>8} "
+          f"{'-':>9}")
+    print(f"{'asic-hht':<14} {'csr':<10} {asic.cycles:>9,} "
+          f"{base.cycles / asic.cycles:>7.2f}x "
+          f"{asic.result.cpu_wait_fraction:>9.0%}")
+
+    for fmt in SUPPORTED_FORMATS:
+        run = run_spmv_programmable(matrix, v, format_name=fmt)
+        assert np.allclose(run.y, ref, rtol=1e-4)
+        print(f"{'prog-hht':<14} {fmt:<10} {run.cycles:>9,} "
+              f"{base.cycles / run.cycles:>7.2f}x "
+              f"{run.result.cpu_wait_fraction:>9.0%}")
+
+    print(f"""
+take-aways (cf. the paper's Sections 6-7):
+  * one helper core + four firmwares serves four representations with
+    the *same* CPU-side consumer kernel — the flexibility the paper's
+    conclusion argues for;
+  * but a scalar metadata walk cannot feed an 8-wide vector CPU: the
+    CPU idles, most of all for SMASH's hierarchical bitmap — matching
+    the Section 6 observation that the HHT "performing more work than
+    the CPU" causes CPU idling;
+  * area: ASIC HHT = {area_ratio_vs_ibex():.0%} of an Ibex core,
+    programmable HHT = {programmable_area_ratio_vs_ibex():.0%}.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Convolution on the HHT (the paper's conclusion mentions convolution).
+
+Lowers a pruned 3x3 convolution to SpMV via the kernel's sparse Toeplitz
+operator, runs it on the simulated CPU+HHT system, and verifies against
+a dense reference.  Edge detection on a synthetic image makes the result
+easy to eyeball: the output highlights the square's borders.
+
+Run:  python examples/sparse_conv.py
+"""
+
+import numpy as np
+
+from repro.analysis import run_spmv
+from repro.workloads.conv import conv2d_reference, conv2d_toeplitz
+
+
+def synthetic_image(n: int = 24) -> np.ndarray:
+    """A bright square on a dark background."""
+    image = np.zeros((n, n), dtype=np.float32)
+    image[n // 4 : 3 * n // 4, n // 4 : 3 * n // 4] = 1.0
+    return image
+
+
+def main() -> None:
+    image = synthetic_image(24)
+    laplacian = np.array(
+        [[0.0, 1.0, 0.0],
+         [1.0, -4.0, 1.0],
+         [0.0, 1.0, 0.0]],
+        dtype=np.float32,
+    )
+
+    T = conv2d_toeplitz(laplacian, image.shape, padding=1)
+    print("=== convolution as SpMV on the HHT ===")
+    print(f"image    : {image.shape[0]}x{image.shape[1]}")
+    print(f"kernel   : 3x3 Laplacian ({int((laplacian != 0).sum())} taps)")
+    print(f"operator : {T.nrows}x{T.ncols} Toeplitz, "
+          f"{T.sparsity:.1%} sparse, {T.nnz} non-zeros\n")
+
+    base = run_spmv(T, image.ravel(), hht=False)
+    hht = run_spmv(T, image.ravel(), hht=True)
+    print(f"baseline : {base.cycles:,} cycles")
+    print(f"with HHT : {hht.cycles:,} cycles "
+          f"({base.cycles / hht.cycles:.2f}x, "
+          f"CPU wait {hht.result.cpu_wait_fraction:.1%})\n")
+
+    out = hht.y.reshape(image.shape)
+    ref = conv2d_reference(image, laplacian, padding=1)
+    assert np.allclose(out, ref, rtol=1e-3, atol=1e-4)
+
+    print("edge magnitude map (rows 10-14, columns 2-22):")
+    for row in np.abs(out[10:14, 2:22]):
+        print("  " + "".join(".:*#"[min(3, int(2 * v))] for v in row))
+    print("\nresult verified against the dense reference ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Mini reproduction of the paper's headline sweeps (Figs 4-7) in one run.
+
+Sweeps sparsity 10-90 % on a small matrix and prints the SpMV and SpMSpV
+speedups plus the CPU-wait fractions, mirroring the shapes of the
+paper's Figures 4, 5, 6 and 7 at example scale.  The full-size versions
+live in benchmarks/.
+
+Run:  python examples/sparsity_sweep.py [size]
+"""
+
+import sys
+
+from repro.analysis import run_spmspv, run_spmv
+from repro.workloads import random_csr, random_dense_vector, random_sparse_vector
+
+
+def main(size: int = 96) -> None:
+    sparsities = [0.1, 0.3, 0.5, 0.7, 0.9]
+    print(f"=== sparsity sweep on a {size}x{size} matrix (VL=8, N=2) ===\n")
+    header = (f"{'sparsity':>8}  {'SpMV':>6}  {'wait':>6}  "
+              f"{'SpMSpV v1':>9}  {'v1 wait':>7}  {'SpMSpV v2':>9}  {'v2 wait':>7}")
+    print(header)
+    print("-" * len(header))
+
+    for i, s in enumerate(sparsities):
+        matrix = random_csr((size, size), s, seed=40 + i)
+        v = random_dense_vector(size, seed=50 + i)
+        sv = random_sparse_vector(size, s, seed=60 + i)
+
+        spmv_base = run_spmv(matrix, v, hht=False)
+        spmv_hht = run_spmv(matrix, v, hht=True)
+
+        sp_base = run_spmspv(matrix, sv, mode="baseline")
+        sp_v1 = run_spmspv(matrix, sv, mode="hht_v1")
+        sp_v2 = run_spmspv(matrix, sv, mode="hht_v2")
+
+        print(f"{s:>8.0%}"
+              f"  {spmv_base.cycles / spmv_hht.cycles:>5.2f}x"
+              f"  {spmv_hht.result.cpu_wait_fraction:>6.1%}"
+              f"  {sp_base.cycles / sp_v1.cycles:>8.2f}x"
+              f"  {sp_v1.result.cpu_wait_fraction:>7.1%}"
+              f"  {sp_base.cycles / sp_v2.cycles:>8.2f}x"
+              f"  {sp_v2.result.cpu_wait_fraction:>7.1%}")
+
+    print("""
+reading the shapes (cf. the paper):
+  * SpMV gains are ~flat, slightly smaller at high sparsity (Fig. 4),
+    and the CPU almost never waits for the HHT (Fig. 6).
+  * SpMSpV variant-1 rises with sparsity and idles the CPU heavily;
+    variant-2 is flatter and keeps the CPU busy (Figs 5 and 7).
+  * variant-1 overtakes variant-2 only at the top of the sweep.""")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 96)

@@ -1,0 +1,95 @@
+"""Experiment harness: runners, tables, and per-figure regenerators."""
+
+from .experiments import (
+    SPARSITIES,
+    ablation_memory,
+    default_size,
+    ext_cached_system,
+    ext_mtx_corpus,
+    ext_programmable_hht,
+    fig4_spmv_speedup,
+    fig5_spmspv_speedup,
+    fig6_spmv_wait,
+    fig7_spmspv_wait,
+    fig8_vector_width,
+    fig9_dnn_layers,
+    sec55_area_power_energy,
+    spmspv_sweep,
+    spmv_sweep,
+    table1_config,
+)
+from .compare import CompareError, Comparison, compare_tables
+from .profile import (
+    KernelProfile,
+    LineProfile,
+    cycle_breakdown,
+    metadata_overhead_table,
+    profile_program,
+    profile_spmspv,
+    profile_spmv,
+)
+from .reportio import (
+    load_table,
+    run_result_to_dict,
+    save_run,
+    save_table,
+    table_from_dict,
+    table_to_dict,
+)
+from .runners import (
+    KernelRun,
+    VerificationError,
+    run_spmspv,
+    run_spmv,
+    run_spmv_programmable,
+)
+from .spmm import SpmmResult, run_spmm
+from .sweeps import hht_knob, parameter_sweep, system_knob
+from .tables import Table
+from .trace import TraceEntry, render_trace, trace_program
+from .validate import validate
+from .tiling import TiledRunResult, run_spmv_tiled
+
+__all__ = [
+    "SPARSITIES",
+    "ablation_memory",
+    "default_size",
+    "ext_cached_system",
+    "ext_mtx_corpus",
+    "ext_programmable_hht",
+    "fig4_spmv_speedup",
+    "fig5_spmspv_speedup",
+    "fig6_spmv_wait",
+    "fig7_spmspv_wait",
+    "fig8_vector_width",
+    "fig9_dnn_layers",
+    "sec55_area_power_energy",
+    "spmspv_sweep",
+    "spmv_sweep",
+    "table1_config",
+    "KernelRun",
+    "VerificationError",
+    "run_spmspv",
+    "run_spmv",
+    "run_spmv_programmable",
+    "Table",
+    "CompareError",
+    "Comparison",
+    "compare_tables",
+    "KernelProfile",
+    "LineProfile",
+    "cycle_breakdown",
+    "metadata_overhead_table",
+    "profile_program",
+    "profile_spmspv",
+    "profile_spmv",
+    "load_table",
+    "run_result_to_dict",
+    "save_run",
+    "save_table",
+    "table_from_dict",
+    "table_to_dict",
+    "TiledRunResult",
+    "run_spmv_tiled",
+    "validate",
+]

@@ -1,0 +1,107 @@
+"""Regression comparison between two result tables.
+
+Archived experiment tables (``benchmarks/results/*.csv`` / the JSON form
+from :mod:`repro.analysis.reportio`) become useful when you can diff
+them: after a model change, ``compare_tables`` reports per-cell relative
+deltas and flags the ones exceeding a tolerance — the CI story for the
+reproduction ("did my change move Fig. 4?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tables import Table
+
+
+class CompareError(ValueError):
+    """Raised when two tables are structurally incomparable."""
+
+
+@dataclass
+class CellDelta:
+    """One numeric cell's movement between two runs."""
+
+    row_key: str
+    column: str
+    old: float
+    new: float
+
+    @property
+    def relative(self) -> float:
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return (self.new - self.old) / abs(self.old)
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing two tables."""
+
+    deltas: list[CellDelta]
+    tolerance: float
+
+    @property
+    def regressions(self) -> list[CellDelta]:
+        return [d for d in self.deltas if abs(d.relative) > self.tolerance]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def max_relative_delta(self) -> float:
+        return max((abs(d.relative) for d in self.deltas), default=0.0)
+
+    def table(self) -> Table:
+        out = Table(
+            f"comparison (tolerance {self.tolerance:.1%}, "
+            f"{'OK' if self.ok else f'{len(self.regressions)} regressions'})",
+            ["row", "column", "old", "new", "delta", "flag"],
+        )
+        for d in sorted(self.deltas, key=lambda d: -abs(d.relative)):
+            out.add_row(
+                d.row_key, d.column, d.old, d.new,
+                f"{d.relative:+.2%}" if d.relative != float("inf") else "inf",
+                "REGRESSION" if abs(d.relative) > self.tolerance else "",
+            )
+        return out
+
+
+def _numeric(value) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(str(value).rstrip("%x"))
+    except (TypeError, ValueError):
+        return None
+
+
+def compare_tables(old: Table, new: Table, *, tolerance: float = 0.05) -> Comparison:
+    """Compare two runs of the same experiment cell by cell.
+
+    Rows are matched positionally (the sweeps are deterministic); the
+    first column is treated as the row key.  Non-numeric cells are
+    ignored.
+    """
+    if old.headers != new.headers:
+        raise CompareError(
+            f"column mismatch: {old.headers} vs {new.headers}"
+        )
+    if len(old.rows) != len(new.rows):
+        raise CompareError(
+            f"row-count mismatch: {len(old.rows)} vs {len(new.rows)}"
+        )
+    deltas: list[CellDelta] = []
+    for old_row, new_row in zip(old.rows, new.rows):
+        key = str(old_row[0])
+        if key != str(new_row[0]):
+            raise CompareError(f"row keys diverge: {key!r} vs {new_row[0]!r}")
+        for header, a, b in zip(old.headers[1:], old_row[1:], new_row[1:]):
+            fa, fb = _numeric(a), _numeric(b)
+            if fa is None or fb is None:
+                continue
+            deltas.append(CellDelta(key, header, fa, fb))
+    return Comparison(deltas=deltas, tolerance=tolerance)

@@ -1,0 +1,203 @@
+"""Kernel profiler: per-line cycles and metadata-overhead attribution.
+
+The paper's Section 2 (and its EXPRESS predecessor [23]) motivates the
+HHT by quantifying *metadata overhead* — the cycles a sparse kernel
+spends locating non-zeros rather than computing on them.  This module
+measures that directly on the simulator: the CPU's profiling mode
+attributes cycles to instruction indices, and kernel instructions tagged
+``[meta]`` (the column-index loads, index arithmetic and indexed
+gathers) are summed into the overhead share the HHT would remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+from ..isa.program import Program
+from ..kernels.spmspv import spmspv_kernel
+from ..kernels.spmv import spmv_kernel
+from ..system.soc import RunResult, Soc
+from .runners import _make_soc, _required_ram
+from .tables import Table
+
+
+@dataclass
+class LineProfile:
+    """Cycle attribution for one instruction of a profiled run."""
+
+    index: int
+    text: str
+    count: int
+    cycles: int
+    fraction: float
+    meta: bool
+
+
+@dataclass
+class KernelProfile:
+    """Full profile of one kernel execution."""
+
+    program: Program
+    result: RunResult
+    lines: list[LineProfile]
+
+    @property
+    def total_cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def metadata_cycles(self) -> int:
+        return sum(line.cycles for line in self.lines if line.meta)
+
+    @property
+    def metadata_fraction(self) -> float:
+        total = self.total_cycles
+        return self.metadata_cycles / total if total else 0.0
+
+    def hottest(self, n: int = 10) -> list[LineProfile]:
+        return sorted(self.lines, key=lambda l: l.cycles, reverse=True)[:n]
+
+    def table(self, top: int = 10) -> Table:
+        table = Table(
+            f"profile: {self.program.name} "
+            f"({self.total_cycles:,} cycles, "
+            f"{self.metadata_fraction:.1%} metadata)",
+            ["idx", "instruction", "count", "cycles", "share", "meta"],
+        )
+        for line in self.hottest(top):
+            table.add_row(
+                line.index,
+                line.text,
+                line.count,
+                line.cycles,
+                line.fraction,
+                "yes" if line.meta else "",
+            )
+        return table
+
+
+def profile_program(soc: Soc, program: Program) -> KernelProfile:
+    """Run *program* with per-instruction profiling enabled."""
+    soc.cpu.profile = True
+    try:
+        result = soc.run(program)
+    finally:
+        soc.cpu.profile = False
+    stats = result.cpu_stats
+    total = max(result.cycles, 1)
+    lines = [
+        LineProfile(
+            index=idx,
+            text=program[idx].text or program[idx].op,
+            count=stats.pc_counts.get(idx, 0),
+            cycles=cycles,
+            fraction=cycles / total,
+            meta=program[idx].meta,
+        )
+        for idx, cycles in sorted(stats.pc_cycles.items())
+    ]
+    return KernelProfile(program=program, result=result, lines=lines)
+
+
+def profile_spmv(
+    matrix: CSRMatrix,
+    v: np.ndarray,
+    *,
+    hht: bool = False,
+    vlmax: int = 8,
+    n_buffers: int = 2,
+) -> KernelProfile:
+    """Profile one SpMV kernel run."""
+    soc = _make_soc(
+        vlmax=vlmax, n_buffers=n_buffers,
+        ram_bytes=_required_ram(matrix), config=None,
+    )
+    soc.load_csr(matrix)
+    soc.load_dense_vector(np.ascontiguousarray(v, dtype=np.float32))
+    soc.allocate_output(matrix.nrows)
+    program = soc.assemble(
+        spmv_kernel(hht=hht, vector=vlmax > 1),
+        name=f"spmv_{'hht' if hht else 'baseline'}_vl{vlmax}",
+    )
+    return profile_program(soc, program)
+
+
+def profile_spmspv(
+    matrix: CSRMatrix,
+    sv,
+    *,
+    mode: str = "baseline",
+    vlmax: int = 8,
+    n_buffers: int = 2,
+) -> KernelProfile:
+    """Profile one SpMSpV kernel run."""
+    soc = _make_soc(
+        vlmax=vlmax, n_buffers=n_buffers,
+        ram_bytes=_required_ram(matrix, extra_words=3 * sv.n), config=None,
+    )
+    soc.load_csr(matrix)
+    soc.load_sparse_vector(sv)
+    soc.allocate_output(matrix.nrows)
+    program = soc.assemble(
+        spmspv_kernel(mode=mode, vector=vlmax > 1),
+        name=f"spmspv_{mode}_vl{vlmax}",
+    )
+    return profile_program(soc, program)
+
+
+def cycle_breakdown(result: RunResult) -> Table:
+    """Per-instruction-class cycle breakdown of any run (no profiling)."""
+    table = Table(
+        f"cycle breakdown ({result.cycles:,} cycles)",
+        ["class", "instructions", "cycles", "share"],
+    )
+    stats = result.cpu_stats
+    total = max(result.cycles, 1)
+    for klass in sorted(stats.class_cycles, key=stats.class_cycles.get,
+                        reverse=True):
+        table.add_row(
+            klass,
+            stats.class_counts.get(klass, 0),
+            stats.class_cycles[klass],
+            stats.class_cycles[klass] / total,
+        )
+    return table
+
+
+def metadata_overhead_table(size: int = 128,
+                            sparsities=(0.1, 0.5, 0.9)) -> Table:
+    """Extension: quantify the Section-2 metadata overhead.
+
+    For each sparsity, profile the vector SpMV and SpMSpV baselines and
+    report the fraction of cycles spent on ``[meta]`` instructions — the
+    work the HHT absorbs.
+    """
+    from ..workloads.synthetic import (
+        random_csr,
+        random_dense_vector,
+        random_sparse_vector,
+    )
+
+    table = Table(
+        f"Extension: metadata-overhead share of baseline cycles "
+        f"({size}x{size})",
+        ["sparsity", "spmv_meta_share", "spmspv_meta_share"],
+    )
+    for i, s in enumerate(sparsities):
+        matrix = random_csr((size, size), s, seed=900 + i)
+        v = random_dense_vector(size, seed=910 + i)
+        sv = random_sparse_vector(size, s, seed=920 + i)
+        spmv = profile_spmv(matrix, v, hht=False)
+        spmspv = profile_spmspv(matrix, sv, mode="baseline")
+        table.add_row(
+            f"{s:.0%}", spmv.metadata_fraction, spmspv.metadata_fraction
+        )
+    table.add_note(
+        "the [meta] share is the index-traversal work the HHT offloads "
+        "(cols loads, index arithmetic, indexed gathers) — cf. Section 2 "
+        "and the EXPRESS study [23]"
+    )
+    return table

@@ -1,0 +1,174 @@
+"""Single-kernel run helpers shared by tests, examples and the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.bitvector import BitVectorMatrix
+from ..formats.convert import convert
+from ..formats.csr import CSRMatrix
+from ..formats.smash import SMASHMatrix
+from ..formats.sparse_vector import SparseVector
+from ..kernels.firmware import FIRMWARES
+from ..kernels.programmable import SUPPORTED_FORMATS, programmable_consumer
+from ..kernels.spmspv import spmspv_kernel
+from ..kernels.spmv import spmv_kernel
+from ..system.config import SystemConfig
+from ..system.soc import RunResult, Soc
+
+
+class VerificationError(AssertionError):
+    """Simulated kernel output does not match the functional reference."""
+
+
+@dataclass
+class KernelRun:
+    """A run's statistics plus its extracted output vector."""
+
+    result: RunResult
+    y: np.ndarray
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+
+def _make_soc(
+    *, vlmax: int, n_buffers: int, ram_bytes: int | None,
+    config: SystemConfig | None,
+) -> Soc:
+    if config is None:
+        config = SystemConfig.paper_table1(vlmax=vlmax, n_buffers=n_buffers)
+        if ram_bytes is not None:
+            config.ram_bytes = ram_bytes
+    return Soc(config)
+
+
+def _required_ram(matrix: CSRMatrix, extra_words: int = 0) -> int | None:
+    """Pick a RAM size: Table 1's 1 MB, grown if the operands don't fit."""
+    words = (
+        matrix.rows.size + matrix.cols.size + matrix.vals.size
+        + 2 * matrix.ncols + matrix.nrows + extra_words
+    )
+    need = words * 4 + 0x1000
+    default = 1 << 20
+    if need <= default:
+        return None
+    size = default
+    while size < need:
+        size <<= 1
+    return size
+
+
+def run_spmv(
+    matrix: CSRMatrix,
+    v: np.ndarray,
+    *,
+    hht: bool,
+    vlmax: int = 8,
+    n_buffers: int = 2,
+    verify: bool = True,
+    config: SystemConfig | None = None,
+) -> KernelRun:
+    """Run one SpMV kernel (vectorised iff ``vlmax > 1``) end to end."""
+    soc = _make_soc(
+        vlmax=vlmax, n_buffers=n_buffers,
+        ram_bytes=_required_ram(matrix), config=config,
+    )
+    soc.load_csr(matrix)
+    soc.load_dense_vector(v)
+    soc.allocate_output(matrix.nrows)
+    program = soc.assemble(spmv_kernel(hht=hht, vector=vlmax > 1))
+    result = soc.run(program)
+    y = soc.read_output("y", matrix.nrows)
+    if verify:
+        ref = matrix.to_dense().astype(np.float64) @ np.asarray(v, np.float64)
+        if not np.allclose(y, ref, rtol=1e-3, atol=1e-4):
+            raise VerificationError("SpMV kernel output mismatch")
+    return KernelRun(result, y)
+
+
+def run_spmv_programmable(
+    matrix: CSRMatrix,
+    v: np.ndarray,
+    *,
+    format_name: str = "csr",
+    vlmax: int = 8,
+    n_buffers: int = 2,
+    verify: bool = True,
+    config: SystemConfig | None = None,
+) -> KernelRun:
+    """Run SpMV on the *programmable* HHT with format-specific firmware.
+
+    The matrix is converted to the requested representation, its memory
+    image is placed in RAM, the matching firmware from
+    :mod:`repro.kernels.firmware` is installed on the helper core, and
+    the primary CPU runs the uniform count/pair consumer kernel.
+    """
+    if format_name not in SUPPORTED_FORMATS:
+        raise ValueError(
+            f"no firmware for format {format_name!r}; supported: "
+            f"{SUPPORTED_FORMATS}"
+        )
+    soc = _make_soc(
+        vlmax=vlmax, n_buffers=n_buffers,
+        ram_bytes=_required_ram(matrix, extra_words=matrix.nnz), config=config,
+    )
+    if format_name == "csr":
+        soc.load_csr(matrix)
+    elif format_name == "coo":
+        soc.load_coo_image(convert(matrix, "coo"))
+    elif format_name == "bitvector":
+        soc.load_bitvector_image(
+            matrix if isinstance(matrix, BitVectorMatrix)
+            else convert(matrix, "bitvector")
+        )
+    elif format_name == "smash":
+        smash = (
+            matrix if isinstance(matrix, SMASHMatrix)
+            else convert(matrix, "smash", fanout=32, depth=2)
+        )
+        soc.load_smash_image(smash)
+    soc.load_dense_vector(v)
+    soc.allocate_output(matrix.nrows)
+    soc.hht.load_firmware(FIRMWARES[format_name]())
+    program = soc.assemble(programmable_consumer(format_name, vector=vlmax > 1))
+    result = soc.run(program)
+    y = soc.read_output("y", matrix.nrows)
+    if verify:
+        ref = matrix.to_dense().astype(np.float64) @ np.asarray(v, np.float64)
+        if not np.allclose(y, ref, rtol=1e-3, atol=1e-4):
+            raise VerificationError(
+                f"programmable SpMV ({format_name}) output mismatch"
+            )
+    return KernelRun(result, y)
+
+
+def run_spmspv(
+    matrix: CSRMatrix,
+    sv: SparseVector,
+    *,
+    mode: str,
+    vlmax: int = 8,
+    n_buffers: int = 2,
+    verify: bool = True,
+    config: SystemConfig | None = None,
+) -> KernelRun:
+    """Run one SpMSpV kernel; mode in {'baseline', 'hht_v1', 'hht_v2'}."""
+    soc = _make_soc(
+        vlmax=vlmax, n_buffers=n_buffers,
+        ram_bytes=_required_ram(matrix, extra_words=3 * sv.n), config=config,
+    )
+    soc.load_csr(matrix)
+    soc.load_sparse_vector(sv)
+    soc.allocate_output(matrix.nrows)
+    program = soc.assemble(spmspv_kernel(mode=mode, vector=vlmax > 1))
+    result = soc.run(program)
+    y = soc.read_output("y", matrix.nrows)
+    if verify:
+        ref = matrix.to_dense().astype(np.float64) @ sv.to_dense().astype(np.float64)
+        if not np.allclose(y, ref, rtol=1e-3, atol=1e-4):
+            raise VerificationError(f"SpMSpV kernel ({mode}) output mismatch")
+    return KernelRun(result, y)

@@ -1,0 +1,77 @@
+"""Plain-text result tables for the experiment harness.
+
+The paper's figures are bar charts; the harness regenerates each one as a
+table whose rows are the bar groups and whose columns are the bars, which
+is the form a text-only benchmark run can print and EXPERIMENTS.md can
+archive.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled table with a header row and formatted body rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def _formatted(self) -> list[list[str]]:
+        out = []
+        for row in self.rows:
+            cells = []
+            for cell in row:
+                if isinstance(cell, float):
+                    cells.append(f"{cell:.3f}" if abs(cell) < 100 else f"{cell:.1f}")
+                else:
+                    cells.append(str(cell))
+            out.append(cells)
+        return out
+
+    def render(self) -> str:
+        body = self._formatted()
+        widths = [len(h) for h in self.headers]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        buf = io.StringIO()
+        buf.write(f"## {self.title}\n")
+        buf.write("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)).rstrip())
+        buf.write("\n")
+        buf.write("  ".join("-" * w for w in widths))
+        buf.write("\n")
+        for row in body:
+            buf.write("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+            buf.write("\n")
+        for note in self.notes:
+            buf.write(f"note: {note}\n")
+        return buf.getvalue()
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        buf.write(",".join(self.headers) + "\n")
+        for row in self._formatted():
+            buf.write(",".join(row) + "\n")
+        return buf.getvalue()
+
+    def column(self, header: str) -> list[object]:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — print the simulated Table-1 system configuration.
+* ``spmv`` — run one SpMV comparison (baseline vs ASIC HHT, optionally
+  the programmable HHT) on a synthetic matrix and print the cycles.
+* ``spmspv`` — same for SpMSpV with both HHT variants.
+* ``figure`` — regenerate one paper artifact (fig4 … sec55, extensions).
+* ``report`` — regenerate every artifact into a directory.
+* ``corpus`` — list (or rebuild) the bundled .mtx corpus.
+* ``validate`` — fast self-check of every paper claim (exit 1 on failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+FIGURES = {
+    "table1": "table1_config",
+    "fig4": "fig4_spmv_speedup",
+    "fig5": "fig5_spmspv_speedup",
+    "fig6": "fig6_spmv_wait",
+    "fig7": "fig7_spmspv_wait",
+    "fig8": "fig8_vector_width",
+    "fig9": "fig9_dnn_layers",
+    "sec55": "sec55_area_power_energy",
+    "corpus": "ext_mtx_corpus",
+    "programmable": "ext_programmable_hht",
+    "cached": "ext_cached_system",
+    "ablation": "ablation_memory",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Heterogeneous Architecture for Sparse Data "
+            "Processing' (IPPS 2022) — the HHT memory-side accelerator."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the simulated system configuration")
+
+    spmv = sub.add_parser("spmv", help="run one SpMV comparison")
+    spmv.add_argument("--rows", type=int, default=256)
+    spmv.add_argument("--cols", type=int, default=256)
+    spmv.add_argument("--sparsity", type=float, default=0.5)
+    spmv.add_argument("--seed", type=int, default=0)
+    spmv.add_argument("--vl", type=int, default=8, choices=(1, 2, 4, 8, 16))
+    spmv.add_argument("--buffers", type=int, default=2)
+    spmv.add_argument(
+        "--programmable", metavar="FORMAT", default=None,
+        help="also run the programmable HHT with this format's firmware "
+             "(csr, coo, bitvector, smash)",
+    )
+
+    spmspv = sub.add_parser("spmspv", help="run one SpMSpV comparison")
+    spmspv.add_argument("--size", type=int, default=256)
+    spmspv.add_argument("--sparsity", type=float, default=0.7)
+    spmspv.add_argument("--vector-sparsity", type=float, default=None)
+    spmspv.add_argument("--seed", type=int, default=0)
+    spmspv.add_argument("--buffers", type=int, default=2)
+
+    figure = sub.add_parser("figure", help="regenerate one paper artifact")
+    figure.add_argument("which", choices=sorted(FIGURES))
+    figure.add_argument("--size", type=int, default=None,
+                        help="sweep matrix dimension (default 256; paper 512)")
+
+    report = sub.add_parser("report", help="regenerate every artifact")
+    report.add_argument("--out", type=Path, default=None,
+                        help="directory to write .txt/.csv tables into")
+    report.add_argument("--size", type=int, default=None)
+
+    corpus = sub.add_parser("corpus", help="bundled .mtx corpus")
+    corpus.add_argument("--rebuild", action="store_true")
+
+    val = sub.add_parser(
+        "validate", help="fast self-check of every paper claim"
+    )
+    val.add_argument("--size", type=int, default=64)
+
+    return parser
+
+
+def _cmd_info(_args) -> int:
+    from .system.config import SystemConfig
+
+    print("Simulated system (paper Table 1):")
+    print(SystemConfig.paper_table1().describe())
+    from .power import area_ratio_vs_ibex, system_power
+
+    print(f"\nASIC HHT area      : {area_ratio_vs_ibex():.1%} of an Ibex core")
+    print(f"power @16nm/50MHz  : {system_power(16, 50, with_hht=False):.0f} uW "
+          f"(CPU) / {system_power(16, 50, with_hht=True):.0f} uW (CPU+HHT)")
+    return 0
+
+
+def _cmd_spmv(args) -> int:
+    from .analysis import run_spmv, run_spmv_programmable
+    from .workloads import random_csr, random_dense_vector
+
+    matrix = random_csr((args.rows, args.cols), args.sparsity, seed=args.seed)
+    v = random_dense_vector(args.cols, seed=args.seed + 1)
+    print(f"SpMV {matrix.nrows}x{matrix.ncols}, {matrix.sparsity:.0%} sparse, "
+          f"VL={args.vl}, N={args.buffers}")
+    base = run_spmv(matrix, v, hht=False, vlmax=args.vl)
+    print(f"  baseline : {base.cycles:>10,} cycles")
+    hht = run_spmv(matrix, v, hht=True, vlmax=args.vl, n_buffers=args.buffers)
+    print(f"  ASIC HHT : {hht.cycles:>10,} cycles  "
+          f"({base.cycles / hht.cycles:.2f}x, "
+          f"CPU wait {hht.result.cpu_wait_fraction:.1%})")
+    if args.programmable:
+        prog = run_spmv_programmable(
+            matrix, v, format_name=args.programmable, vlmax=args.vl,
+            n_buffers=args.buffers,
+        )
+        print(f"  prog HHT : {prog.cycles:>10,} cycles  "
+              f"({base.cycles / prog.cycles:.2f}x, "
+              f"CPU wait {prog.result.cpu_wait_fraction:.1%}) "
+              f"[{args.programmable} firmware]")
+    return 0
+
+
+def _cmd_spmspv(args) -> int:
+    from .analysis import run_spmspv
+    from .workloads import random_csr, random_sparse_vector
+
+    vs = args.vector_sparsity if args.vector_sparsity is not None else args.sparsity
+    matrix = random_csr((args.size, args.size), args.sparsity, seed=args.seed)
+    sv = random_sparse_vector(args.size, vs, seed=args.seed + 1)
+    print(f"SpMSpV {args.size}x{args.size}, matrix {matrix.sparsity:.0%} / "
+          f"vector {sv.sparsity:.0%} sparse, N={args.buffers}")
+    base = run_spmspv(matrix, sv, mode="baseline")
+    print(f"  baseline  : {base.cycles:>10,} cycles")
+    for mode, label in (("hht_v1", "variant-1"), ("hht_v2", "variant-2")):
+        run = run_spmspv(matrix, sv, mode=mode, n_buffers=args.buffers)
+        print(f"  {label} : {run.cycles:>10,} cycles  "
+              f"({base.cycles / run.cycles:.2f}x, "
+              f"CPU wait {run.result.cpu_wait_fraction:.1%})")
+    return 0
+
+
+def _figure_table(name: str, size: int | None):
+    from . import analysis
+
+    fn = getattr(analysis, FIGURES[name])
+    if name in ("table1", "corpus", "programmable", "cached", "ablation", "fig9"):
+        return fn()
+    if name == "sec55":
+        return fn(size=size) if size else fn()
+    return fn(size) if size else fn()
+
+
+def _cmd_figure(args) -> int:
+    table = _figure_table(args.which, args.size)
+    print(table.render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    out = args.out
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+    for name in FIGURES:
+        table = _figure_table(name, args.size)
+        print(table.render())
+        if out is not None:
+            (out / f"{name}.txt").write_text(table.render())
+            (out / f"{name}.csv").write_text(table.to_csv())
+    if out is not None:
+        print(f"tables written to {out}/")
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    from .workloads import CORPUS_NAMES, load_corpus_matrix, write_corpus
+
+    if args.rebuild:
+        for path in write_corpus():
+            print(f"wrote {path}")
+    for name in CORPUS_NAMES:
+        m = load_corpus_matrix(name)
+        print(f"{name:10s} {m.nrows}x{m.ncols}  nnz={m.nnz:<6} "
+              f"sparsity={m.sparsity:.2%}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .analysis import validate
+
+    table, ok = validate(size=args.size)
+    print(table.render())
+    print("ALL CLAIMS PASS" if ok else "SOME CLAIMS FAILED")
+    return 0 if ok else 1
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "spmv": _cmd_spmv,
+    "spmspv": _cmd_spmspv,
+    "figure": _cmd_figure,
+    "report": _cmd_report,
+    "corpus": _cmd_corpus,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # e.g. `repro-hht corpus | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

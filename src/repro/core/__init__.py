@@ -1,0 +1,41 @@
+"""The paper's contribution: the Hardware Helper Thread (HHT) accelerator."""
+
+from .config import HHT_BASE, MMR, HHTConfig, HHTMode
+from .engines import (
+    BackEndEngine,
+    EngineError,
+    SpMSpVAlignedEngine,
+    SpMSpVValueEngine,
+    SpMVGatherEngine,
+)
+from .hht import HHT, HHTStats
+from .programmable import (
+    FIRMWARE_SYMBOLS,
+    HELPER_EMIT_BASE,
+    EmitDevice,
+    ProgrammableEngine,
+    helper_core_config,
+)
+from .stream import BufferedStream, StreamStats, StreamUnderflow
+
+__all__ = [
+    "HHT_BASE",
+    "MMR",
+    "HHTConfig",
+    "HHTMode",
+    "BackEndEngine",
+    "EngineError",
+    "SpMSpVAlignedEngine",
+    "SpMSpVValueEngine",
+    "SpMVGatherEngine",
+    "HHT",
+    "HHTStats",
+    "FIRMWARE_SYMBOLS",
+    "HELPER_EMIT_BASE",
+    "EmitDevice",
+    "ProgrammableEngine",
+    "helper_core_config",
+    "BufferedStream",
+    "StreamStats",
+    "StreamUnderflow",
+]

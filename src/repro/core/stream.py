@@ -1,0 +1,97 @@
+"""CPU-side buffered FIFO streams of the HHT front-end.
+
+Section 3.1: the FE offers a *streaming FIFO interface* — software always
+loads from a fixed buffer address; the FE tracks which buffer is being
+drained and switches to the next ready buffer; a load that finds no ready
+buffer stalls the CPU.
+
+Elements are staged as ``(ready_at_cycle, value_bits)`` pairs grouped into
+*buffers*: each back-end fill occupies ``ceil(n / buffer_elems)`` buffer
+slots, and a slot is only recycled when the CPU has drained every element
+in it.  The back-end may run ahead only while a slot is free — with N=1
+this forces strict fill/drain alternation; N=2 gives the paper's
+double-buffering.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+class StreamUnderflow(Exception):
+    """CPU read past the end of what the back-end will ever produce."""
+
+
+@dataclass
+class StreamStats:
+    elements_supplied: int = 0
+    reads: int = 0
+    cpu_wait_cycles: int = 0
+
+
+class BufferedStream:
+    """One FIFO stream (VVAL, MVAL or COUNT) with buffer-slot accounting."""
+
+    def __init__(self, name: str, n_buffers: int, buffer_elems: int):
+        if n_buffers < 1 or buffer_elems < 1:
+            raise ValueError("n_buffers and buffer_elems must be >= 1")
+        self.name = name
+        self.n_buffers = n_buffers
+        self.buffer_elems = buffer_elems
+        self.elements: deque[tuple[int, int]] = deque()
+        # Remaining element count of each outstanding buffer slot, oldest
+        # first.  len(self._slots) is the number of occupied slots.
+        self._slots: deque[int] = deque()
+        self.stats = StreamStats()
+
+    @property
+    def unconsumed(self) -> int:
+        return len(self.elements)
+
+    @property
+    def occupied_slots(self) -> int:
+        return len(self._slots)
+
+    @property
+    def has_room(self) -> bool:
+        return len(self._slots) < self.n_buffers
+
+    def push(self, ready_at: int, value_bits: int) -> None:
+        """Stage a single element as its own buffer slot (COUNT stream)."""
+        self.elements.append((ready_at, int(value_bits)))
+        self._slots.append(1)
+
+    def push_group(self, ready_at: int, values) -> None:
+        """Stage one back-end fill; it occupies ceil(n/BLEN) buffer slots.
+
+        A fill larger than one buffer (a long variant-1 row) transiently
+        overshoots N — the gate then stays closed until the CPU drains the
+        extra slots, which is how the model throttles the back-end.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        append = self.elements.append
+        for v in values:
+            append((ready_at, int(v)))
+        blen = self.buffer_elems
+        full, rem = divmod(n, blen)
+        self._slots.extend([blen] * full)
+        if rem:
+            self._slots.append(rem)
+
+    def pop_available(self) -> tuple[int, int] | None:
+        """Pop the next element if one is staged (ready or not).
+
+        Returns ``(ready_at, value_bits)`` and recycles the owning buffer
+        slot once its last element is consumed.
+        """
+        if not self.elements:
+            return None
+        item = self.elements.popleft()
+        slots = self._slots
+        slots[0] -= 1
+        if slots[0] == 0:
+            slots.popleft()
+        return item

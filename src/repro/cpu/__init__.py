@@ -1,0 +1,6 @@
+"""Primary-core model: in-order RV32IMF+V with a non-pipelined vector unit."""
+
+from .core import Cpu, CpuStats, SimulationError
+from .timing import CpuConfig, LatencyTable
+
+__all__ = ["Cpu", "CpuStats", "SimulationError", "CpuConfig", "LatencyTable"]

@@ -1,0 +1,160 @@
+"""Block Compressed Sparse Row (BCSR) [18].
+
+The matrix is tiled into ``br x bc`` blocks; any tile containing at least
+one non-zero is stored *densely* (``br*bc`` values), and the tiles are
+indexed CSR-style: ``block_rowptr`` over ``block_cols``.  Trades zero
+padding inside blocks for much smaller metadata and regular access, which
+is why it suits vector units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    WORD_BYTES,
+    SparseFormat,
+    SparseFormatError,
+    as_index_array,
+    check_shape,
+    dense_from_input,
+)
+
+
+class BCSRMatrix(SparseFormat):
+    """Block-CSR matrix with dense ``br x bc`` blocks."""
+
+    format_name = "bcsr"
+
+    def __init__(self, shape, block_shape, block_rowptr, block_cols, blocks, *, check: bool = True):
+        self.shape = check_shape(shape)
+        self.block_shape = check_shape(block_shape)
+        if self.block_shape[0] <= 0 or self.block_shape[1] <= 0:
+            raise SparseFormatError(f"block shape must be positive, got {self.block_shape}")
+        self.block_rowptr = as_index_array(block_rowptr, name="block_rowptr")
+        self.block_cols = as_index_array(block_cols, name="block_cols")
+        self.blocks = np.ascontiguousarray(blocks, dtype=VALUE_DTYPE)
+        if self.blocks.ndim != 3 or self.blocks.shape[1:] != self.block_shape:
+            raise SparseFormatError(
+                f"blocks must have shape (nblocks, {self.block_shape[0]}, "
+                f"{self.block_shape[1]}), got {self.blocks.shape}"
+            )
+        if check:
+            self.validate()
+
+    @classmethod
+    def from_dense(cls, dense, block_shape=(4, 4)) -> "BCSRMatrix":
+        arr = dense_from_input(dense)
+        nrows, ncols = arr.shape
+        br, bc = check_shape(block_shape)
+        if br <= 0 or bc <= 0:
+            raise SparseFormatError(f"block shape must be positive, got {(br, bc)}")
+        nbr = (nrows + br - 1) // br
+        nbc = (ncols + bc - 1) // bc
+        padded = np.zeros((nbr * br, nbc * bc), dtype=VALUE_DTYPE)
+        padded[:nrows, :ncols] = arr
+        rowptr = np.zeros(nbr + 1, dtype=INDEX_DTYPE)
+        block_cols: list[int] = []
+        blocks: list[np.ndarray] = []
+        for bi in range(nbr):
+            for bj in range(nbc):
+                tile = padded[bi * br : (bi + 1) * br, bj * bc : (bj + 1) * bc]
+                if np.any(tile != 0):
+                    block_cols.append(bj)
+                    blocks.append(tile.copy())
+            rowptr[bi + 1] = len(block_cols)
+        blocks_arr = (
+            np.stack(blocks) if blocks else np.empty((0, br, bc), dtype=VALUE_DTYPE)
+        )
+        return cls(
+            (nrows, ncols),
+            (br, bc),
+            rowptr,
+            np.asarray(block_cols, dtype=INDEX_DTYPE),
+            blocks_arr,
+            check=False,
+        )
+
+    @property
+    def n_block_rows(self) -> int:
+        return (self.nrows + self.block_shape[0] - 1) // self.block_shape[0]
+
+    @property
+    def n_block_cols(self) -> int:
+        return (self.ncols + self.block_shape[1] - 1) // self.block_shape[1]
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_cols.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        """Count of logically non-zero entries (zero padding excluded)."""
+        return int(np.count_nonzero(self.blocks))
+
+    @property
+    def stored_values(self) -> int:
+        """Total stored values *including* intra-block zero padding."""
+        return int(self.blocks.size)
+
+    def to_dense(self) -> np.ndarray:
+        br, bc = self.block_shape
+        padded = np.zeros((self.n_block_rows * br, self.n_block_cols * bc), dtype=VALUE_DTYPE)
+        for bi in range(self.n_block_rows):
+            lo, hi = self.block_rowptr[bi], self.block_rowptr[bi + 1]
+            for k in range(lo, hi):
+                bj = self.block_cols[k]
+                padded[bi * br : (bi + 1) * br, bj * bc : (bj + 1) * bc] = self.blocks[k]
+        return padded[: self.nrows, : self.ncols]
+
+    def storage_bytes(self) -> int:
+        return (
+            self.block_rowptr.size + self.block_cols.size + self.blocks.size
+        ) * WORD_BYTES
+
+    def fill_efficiency(self) -> float:
+        """Fraction of stored block entries that are true non-zeros."""
+        if self.stored_values == 0:
+            return 1.0
+        return self.nnz / self.stored_values
+
+    def validate(self) -> None:
+        if self.block_rowptr.size != self.n_block_rows + 1:
+            raise SparseFormatError(
+                f"block_rowptr must have length {self.n_block_rows + 1}, "
+                f"got {self.block_rowptr.size}"
+            )
+        if self.n_block_rows and self.block_rowptr[0] != 0:
+            raise SparseFormatError("block_rowptr[0] must be 0")
+        if self.block_rowptr.size and self.block_rowptr[-1] != self.n_blocks:
+            raise SparseFormatError("block_rowptr[-1] must equal number of blocks")
+        if np.any(np.diff(self.block_rowptr) < 0):
+            raise SparseFormatError("block row pointers must be non-decreasing")
+        if self.block_cols.size:
+            if self.block_cols.min() < 0 or self.block_cols.max() >= self.n_block_cols:
+                raise SparseFormatError("block column indices out of range")
+        for bi in range(self.n_block_rows):
+            seg = self.block_cols[self.block_rowptr[bi] : self.block_rowptr[bi + 1]]
+            if seg.size > 1 and np.any(np.diff(seg) <= 0):
+                raise SparseFormatError(
+                    f"block columns within block-row {bi} must be strictly increasing"
+                )
+        # Padding rows/cols beyond the logical extent must stay zero.
+        br, bc = self.block_shape
+        pad_r = self.n_block_rows * br - self.nrows
+        pad_c = self.n_block_cols * bc - self.ncols
+        if pad_r or pad_c:
+            for bi in range(self.n_block_rows):
+                lo, hi = self.block_rowptr[bi], self.block_rowptr[bi + 1]
+                for k in range(lo, hi):
+                    blk = self.blocks[k]
+                    if pad_r and bi == self.n_block_rows - 1 and np.any(blk[br - pad_r :, :]):
+                        raise SparseFormatError("non-zero in row padding region")
+                    if (
+                        pad_c
+                        and self.block_cols[k] == self.n_block_cols - 1
+                        and np.any(blk[:, bc - pad_c :])
+                    ):
+                        raise SparseFormatError("non-zero in column padding region")

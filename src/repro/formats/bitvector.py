@@ -1,0 +1,99 @@
+"""Bit-vector sparse representation (right half of the paper's Fig. 1).
+
+A row-major bitmap marks the position of every non-zero; a packed ``vals``
+array stores the non-zero values in the same order.  The bitmap is stored
+as 32-bit words (matching the 32-bit datapath), so metadata costs
+``ceil(nrows*ncols / 32)`` words instead of CSR's ``nrows + 1 + nnz``
+words — cheaper at moderate sparsity, which is why formats like SCNN [5]
+use it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    VALUE_DTYPE,
+    WORD_BYTES,
+    SparseFormat,
+    SparseFormatError,
+    as_value_array,
+    check_shape,
+    dense_from_input,
+)
+
+BITS_PER_WORD = 32
+
+
+def pack_bits(flat_mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean array into little-endian 32-bit words."""
+    bits = np.asarray(flat_mask, dtype=bool)
+    nwords = (bits.size + BITS_PER_WORD - 1) // BITS_PER_WORD
+    padded = np.zeros(nwords * BITS_PER_WORD, dtype=bool)
+    padded[: bits.size] = bits
+    words = np.zeros(nwords, dtype=np.uint32)
+    for b in range(BITS_PER_WORD):
+        words |= padded[b::BITS_PER_WORD].astype(np.uint32) << np.uint32(b)
+    return words
+
+def unpack_bits(words: np.ndarray, nbits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits` — returns a boolean array of length *nbits*."""
+    words = np.asarray(words, dtype=np.uint32)
+    out = np.zeros(words.size * BITS_PER_WORD, dtype=bool)
+    for b in range(BITS_PER_WORD):
+        out[b::BITS_PER_WORD] = (words >> np.uint32(b)) & np.uint32(1)
+    return out[:nbits]
+
+
+class BitVectorMatrix(SparseFormat):
+    """Bitmap + packed non-zero values, row-major."""
+
+    format_name = "bitvector"
+
+    def __init__(self, shape, bitmap_words, vals, *, check: bool = True):
+        self.shape = check_shape(shape)
+        self.bitmap_words = np.ascontiguousarray(bitmap_words, dtype=np.uint32)
+        self.vals = as_value_array(vals, name="vals")
+        if check:
+            self.validate()
+
+    @classmethod
+    def from_dense(cls, dense) -> "BitVectorMatrix":
+        arr = dense_from_input(dense)
+        mask = (arr != 0).ravel()
+        return cls(arr.shape, pack_bits(mask), arr.ravel()[mask], check=False)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.vals.shape[0])
+
+    @property
+    def nbits(self) -> int:
+        return self.nrows * self.ncols
+
+    def mask(self) -> np.ndarray:
+        """The boolean non-zero mask, reshaped to the matrix shape."""
+        return unpack_bits(self.bitmap_words, self.nbits).reshape(self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.nbits, dtype=VALUE_DTYPE)
+        dense[unpack_bits(self.bitmap_words, self.nbits)] = self.vals
+        return dense.reshape(self.shape)
+
+    def storage_bytes(self) -> int:
+        return self.bitmap_words.size * WORD_BYTES + self.vals.size * WORD_BYTES
+
+    def validate(self) -> None:
+        expected_words = (self.nbits + BITS_PER_WORD - 1) // BITS_PER_WORD
+        if self.bitmap_words.size != expected_words:
+            raise SparseFormatError(
+                f"bitmap must have {expected_words} words, got {self.bitmap_words.size}"
+            )
+        bits = unpack_bits(self.bitmap_words, self.bitmap_words.size * BITS_PER_WORD)
+        if np.any(bits[self.nbits :]):
+            raise SparseFormatError("padding bits beyond the matrix extent must be 0")
+        popcount = int(bits[: self.nbits].sum())
+        if popcount != self.vals.size:
+            raise SparseFormatError(
+                f"bitmap population {popcount} does not match vals length {self.vals.size}"
+            )

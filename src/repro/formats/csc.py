@@ -1,0 +1,96 @@
+"""Compressed Sparse Column (CSC) representation.
+
+The column-major dual of CSR: ``colptr`` delimits per-column slices of
+``row_indices``/``vals``.  Useful for transpose-style access patterns and
+for the format-conversion coverage the paper's introduction surveys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    WORD_BYTES,
+    SparseFormat,
+    SparseFormatError,
+    as_index_array,
+    as_value_array,
+    check_shape,
+    dense_from_input,
+)
+
+
+class CSCMatrix(SparseFormat):
+    """Compressed sparse column matrix with ``int32``/``float32`` storage."""
+
+    format_name = "csc"
+
+    def __init__(self, shape, colptr, row_indices, vals, *, check: bool = True):
+        self.shape = check_shape(shape)
+        self.colptr = as_index_array(colptr, name="colptr")
+        self.row_indices = as_index_array(row_indices, name="row_indices")
+        self.vals = as_value_array(vals, name="vals")
+        if check:
+            self.validate()
+
+    @classmethod
+    def from_dense(cls, dense) -> "CSCMatrix":
+        arr = dense_from_input(dense)
+        nrows, ncols = arr.shape
+        mask = arr != 0
+        col_counts = mask.sum(axis=0, dtype=np.int64)
+        colptr = np.zeros(ncols + 1, dtype=INDEX_DTYPE)
+        np.cumsum(col_counts, out=colptr[1:])
+        cc, rr = np.nonzero(mask.T)  # column-major traversal
+        return cls(
+            (nrows, ncols),
+            colptr,
+            rr.astype(INDEX_DTYPE),
+            arr[rr, cc],
+            check=False,
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.vals.shape[0])
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        for j in range(self.ncols):
+            lo, hi = self.colptr[j], self.colptr[j + 1]
+            dense[self.row_indices[lo:hi], j] = self.vals[lo:hi]
+        return dense
+
+    def storage_bytes(self) -> int:
+        return (self.colptr.size + self.row_indices.size + self.vals.size) * WORD_BYTES
+
+    def validate(self) -> None:
+        nrows, ncols = self.shape
+        if self.colptr.size != ncols + 1:
+            raise SparseFormatError(
+                f"colptr must have length ncols+1={ncols + 1}, got {self.colptr.size}"
+            )
+        if self.row_indices.size != self.vals.size:
+            raise SparseFormatError("row_indices and vals lengths differ")
+        if ncols and self.colptr[0] != 0:
+            raise SparseFormatError("colptr[0] must be 0")
+        if self.colptr.size and self.colptr[-1] != self.vals.size:
+            raise SparseFormatError("colptr[-1] must equal nnz")
+        if np.any(np.diff(self.colptr) < 0):
+            raise SparseFormatError("column pointers must be non-decreasing")
+        if self.row_indices.size:
+            if self.row_indices.min() < 0 or self.row_indices.max() >= nrows:
+                raise SparseFormatError(f"row indices out of range for {nrows} rows")
+        for j in range(ncols):
+            seg = self.row_indices[self.colptr[j] : self.colptr[j + 1]]
+            if seg.size > 1 and np.any(np.diff(seg) <= 0):
+                raise SparseFormatError(
+                    f"row indices within column {j} must be strictly increasing"
+                )
+
+    def col_slice(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """(row_indices, vals) views for column *j*."""
+        lo, hi = self.colptr[j], self.colptr[j + 1]
+        return self.row_indices[lo:hi], self.vals[lo:hi]

@@ -1,0 +1,174 @@
+"""Matrix Market (.mtx) reader and writer.
+
+The paper evaluates matrices from the Texas A&M (SuiteSparse) collection,
+which are distributed in Matrix Market coordinate format.  This module
+implements the subset of the format those files use:
+
+* ``matrix coordinate {real|integer|pattern} {general|symmetric}`` and
+* ``matrix array real general`` (dense column-major),
+
+so that the bundled corpus in :mod:`repro.workloads.mtx_corpus` — and any
+real SuiteSparse download a user supplies — loads into :class:`COOMatrix`.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .base import INDEX_DTYPE, VALUE_DTYPE, SparseFormatError
+from .coo import COOMatrix
+
+_HEADER_PREFIX = "%%MatrixMarket"
+_OBJECTS = {"matrix"}
+_FORMATS = {"coordinate", "array"}
+_FIELDS = {"real", "integer", "pattern"}
+_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+class MatrixMarketError(SparseFormatError):
+    """Raised on malformed Matrix Market input."""
+
+
+def _parse_header(line: str) -> tuple[str, str, str, str]:
+    parts = line.strip().split()
+    if not parts or parts[0] != _HEADER_PREFIX:
+        raise MatrixMarketError(f"missing {_HEADER_PREFIX} banner, got {line!r}")
+    if len(parts) != 5:
+        raise MatrixMarketError(f"banner must have 5 tokens, got {line!r}")
+    obj, fmt, field, symmetry = (p.lower() for p in parts[1:])
+    if obj not in _OBJECTS:
+        raise MatrixMarketError(f"unsupported object {obj!r}")
+    if fmt not in _FORMATS:
+        raise MatrixMarketError(f"unsupported format {fmt!r}")
+    if field not in _FIELDS:
+        raise MatrixMarketError(f"unsupported field {field!r}")
+    if symmetry not in _SYMMETRIES:
+        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+    if fmt == "array" and field == "pattern":
+        raise MatrixMarketError("array format cannot be pattern")
+    return obj, fmt, field, symmetry
+
+
+def read_mtx(source) -> COOMatrix:
+    """Read a Matrix Market file (path, file object, or text) into COO."""
+    if isinstance(source, Path) or (
+        isinstance(source, str) and source and "\n" not in source
+    ):
+        text = Path(source).read_text()
+    elif isinstance(source, str):
+        text = source
+    else:
+        text = source.read()
+
+    lines = iter(text.splitlines())
+    try:
+        header = next(lines)
+    except StopIteration:
+        raise MatrixMarketError("empty input") from None
+    _, fmt, field, symmetry = _parse_header(header)
+
+    # Skip comments and blank lines to the size line.
+    size_line = None
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        size_line = stripped
+        break
+    if size_line is None:
+        raise MatrixMarketError("missing size line")
+
+    if fmt == "coordinate":
+        try:
+            nrows, ncols, nnz = (int(tok) for tok in size_line.split())
+        except ValueError as exc:
+            raise MatrixMarketError(f"bad size line {size_line!r}") from exc
+        rows, cols, vals = [], [], []
+        seen = 0
+        for line in lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            toks = stripped.split()
+            if field == "pattern":
+                if len(toks) != 2:
+                    raise MatrixMarketError(f"bad pattern entry {stripped!r}")
+                i, j = int(toks[0]), int(toks[1])
+                v = 1.0
+            else:
+                if len(toks) != 3:
+                    raise MatrixMarketError(f"bad entry {stripped!r}")
+                i, j = int(toks[0]), int(toks[1])
+                v = float(toks[2])
+            if not (1 <= i <= nrows and 1 <= j <= ncols):
+                raise MatrixMarketError(f"entry ({i},{j}) out of bounds")
+            rows.append(i - 1)
+            cols.append(j - 1)
+            vals.append(v)
+            seen += 1
+            if symmetry in ("symmetric", "skew-symmetric") and i != j:
+                rows.append(j - 1)
+                cols.append(i - 1)
+                vals.append(-v if symmetry == "skew-symmetric" else v)
+        if seen != nnz:
+            raise MatrixMarketError(f"expected {nnz} entries, found {seen}")
+        return COOMatrix(
+            (nrows, ncols),
+            np.asarray(rows, dtype=INDEX_DTYPE),
+            np.asarray(cols, dtype=INDEX_DTYPE),
+            np.asarray(vals, dtype=VALUE_DTYPE),
+        )
+
+    # Dense "array" format: column-major list of nrows*ncols values.
+    try:
+        nrows, ncols = (int(tok) for tok in size_line.split())
+    except ValueError as exc:
+        raise MatrixMarketError(f"bad size line {size_line!r}") from exc
+    values = []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        values.append(float(stripped.split()[0]))
+    expected = nrows * ncols if symmetry == "general" else nrows * (nrows + 1) // 2
+    if len(values) != expected:
+        raise MatrixMarketError(f"expected {expected} array values, found {len(values)}")
+    if symmetry == "general":
+        dense = np.asarray(values, dtype=VALUE_DTYPE).reshape((ncols, nrows)).T
+    else:
+        dense = np.zeros((nrows, ncols), dtype=VALUE_DTYPE)
+        k = 0
+        for j in range(ncols):
+            for i in range(j, nrows):
+                dense[i, j] = values[k]
+                dense[j, i] = values[k]
+                k += 1
+    return COOMatrix.from_dense(dense)
+
+
+def write_mtx(matrix, destination=None, *, comment: str | None = None) -> str:
+    """Write a sparse matrix (any format) in coordinate/real/general form.
+
+    Returns the text; if *destination* is a path or file object, also
+    writes it there.
+    """
+    coo = matrix if isinstance(matrix, COOMatrix) else COOMatrix.from_dense(matrix.to_dense())
+    coo = coo.sorted_row_major()
+    buf = io.StringIO()
+    buf.write("%%MatrixMarket matrix coordinate real general\n")
+    if comment:
+        for line in comment.splitlines():
+            buf.write(f"% {line}\n")
+    buf.write(f"{coo.nrows} {coo.ncols} {coo.nnz}\n")
+    for r, c, v in zip(coo.row_indices, coo.col_indices, coo.vals):
+        buf.write(f"{int(r) + 1} {int(c) + 1} {float(v):.9g}\n")
+    text = buf.getvalue()
+    if destination is not None:
+        if isinstance(destination, (str, Path)):
+            Path(destination).write_text(text)
+        else:
+            destination.write(text)
+    return text

@@ -1,0 +1,113 @@
+"""Run-length encoding of sparsity, as used by SCNN-style accelerators [5].
+
+Each non-zero value is stored together with the number of zeroes that
+precede it (within its row); rows are delimited by a per-row entry count.
+Concretely, three arrays:
+
+* ``row_counts`` — number of non-zeros per row (length ``nrows``),
+* ``zero_runs`` — zeroes preceding each stored value inside its row,
+* ``vals`` — the non-zero values, row-major.
+
+Decoding row *i* walks its entries accumulating ``run + 1`` positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    WORD_BYTES,
+    SparseFormat,
+    SparseFormatError,
+    as_index_array,
+    as_value_array,
+    check_shape,
+    dense_from_input,
+)
+
+
+class RLEMatrix(SparseFormat):
+    """Zero-run-length encoded sparse matrix."""
+
+    format_name = "rle"
+
+    def __init__(self, shape, row_counts, zero_runs, vals, *, check: bool = True):
+        self.shape = check_shape(shape)
+        self.row_counts = as_index_array(row_counts, name="row_counts")
+        self.zero_runs = as_index_array(zero_runs, name="zero_runs")
+        self.vals = as_value_array(vals, name="vals")
+        if check:
+            self.validate()
+
+    @classmethod
+    def from_dense(cls, dense) -> "RLEMatrix":
+        arr = dense_from_input(dense)
+        nrows, _ = arr.shape
+        row_counts = np.zeros(nrows, dtype=INDEX_DTYPE)
+        runs: list[int] = []
+        vals: list[float] = []
+        for i in range(nrows):
+            cols = np.nonzero(arr[i])[0]
+            row_counts[i] = cols.size
+            prev = -1
+            for c in cols:
+                runs.append(int(c) - prev - 1)
+                vals.append(arr[i, c])
+                prev = int(c)
+        return cls(
+            arr.shape,
+            row_counts,
+            np.asarray(runs, dtype=INDEX_DTYPE),
+            np.asarray(vals, dtype=VALUE_DTYPE),
+            check=False,
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.vals.shape[0])
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        k = 0
+        for i in range(self.nrows):
+            col = -1
+            for _ in range(int(self.row_counts[i])):
+                col += int(self.zero_runs[k]) + 1
+                dense[i, col] = self.vals[k]
+                k += 1
+        return dense
+
+    def storage_bytes(self) -> int:
+        return (self.row_counts.size + self.zero_runs.size + self.vals.size) * WORD_BYTES
+
+    def validate(self) -> None:
+        nrows, ncols = self.shape
+        if self.row_counts.size != nrows:
+            raise SparseFormatError(
+                f"row_counts must have length nrows={nrows}, got {self.row_counts.size}"
+            )
+        if self.zero_runs.size != self.vals.size:
+            raise SparseFormatError("zero_runs and vals lengths differ")
+        if np.any(self.row_counts < 0):
+            raise SparseFormatError("row counts must be non-negative")
+        if int(self.row_counts.sum()) != self.vals.size:
+            raise SparseFormatError(
+                f"sum of row_counts ({int(self.row_counts.sum())}) must equal "
+                f"nnz ({self.vals.size})"
+            )
+        if self.zero_runs.size and self.zero_runs.min() < 0:
+            raise SparseFormatError("zero runs must be non-negative")
+        # Check each row fits within ncols.
+        k = 0
+        for i in range(nrows):
+            cnt = int(self.row_counts[i])
+            if cnt == 0:
+                continue
+            width = int(self.zero_runs[k : k + cnt].sum()) + cnt
+            if width > ncols:
+                raise SparseFormatError(
+                    f"row {i} decodes to {width} columns but matrix has {ncols}"
+                )
+            k += cnt

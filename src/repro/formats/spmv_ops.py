@@ -1,0 +1,138 @@
+"""Format-native SpMV reference implementations.
+
+"Matrix codes are written to a specific format in order to interpret the
+metadata" (paper, Section 1) — each representation has its own traversal
+idiom, and these functions implement them: the bitmap popcount walk, the
+zero-run decode, the dense-block multiply, the hierarchy descent.  They
+are the functional mirrors of the HHT firmware walks and double as
+golden models in the test suite (every one must agree with
+:meth:`CSRMatrix.spmv` on the same matrix).
+
+All return dense ``float32`` results of length ``nrows``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import VALUE_DTYPE, SparseFormatError, as_value_array
+from .bcsr import BCSRMatrix
+from .bitvector import BitVectorMatrix
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .rle import RLEMatrix
+from .smash import SMASHMatrix
+
+
+def _check_vec(v, ncols: int) -> np.ndarray:
+    v = as_value_array(v, name="v")
+    if v.size != ncols:
+        raise SparseFormatError(
+            f"vector length {v.size} does not match ncols {ncols}"
+        )
+    return v
+
+
+def spmv_coo(matrix: COOMatrix, v) -> np.ndarray:
+    """Scatter-accumulate over the (row, col, val) triples."""
+    v = _check_vec(v, matrix.ncols)
+    y = np.zeros(matrix.nrows, dtype=VALUE_DTYPE)
+    np.add.at(y, matrix.row_indices, matrix.vals * v[matrix.col_indices])
+    return y
+
+
+def spmv_csc(matrix: CSCMatrix, v) -> np.ndarray:
+    """Column-major: each column scales by v[j] and accumulates into y."""
+    v = _check_vec(v, matrix.ncols)
+    y = np.zeros(matrix.nrows, dtype=VALUE_DTYPE)
+    for j in range(matrix.ncols):
+        vj = v[j]
+        if vj == 0:
+            continue
+        rows, vals = matrix.col_slice(j)
+        np.add.at(y, rows, vals * vj)
+    return y
+
+
+def spmv_bitvector(matrix: BitVectorMatrix, v) -> np.ndarray:
+    """Bitmap walk: per row, iterate set bits; values are packed in order."""
+    v = _check_vec(v, matrix.ncols)
+    mask = matrix.mask()
+    y = np.zeros(matrix.nrows, dtype=VALUE_DTYPE)
+    cursor = 0
+    for i in range(matrix.nrows):
+        cols = np.nonzero(mask[i])[0]
+        if cols.size:
+            vals = matrix.vals[cursor : cursor + cols.size]
+            y[i] = np.dot(vals.astype(np.float64), v[cols].astype(np.float64))
+            cursor += cols.size
+    return y
+
+
+def spmv_rle(matrix: RLEMatrix, v) -> np.ndarray:
+    """Run-length decode walk: accumulate column positions from zero runs."""
+    v = _check_vec(v, matrix.ncols)
+    y = np.zeros(matrix.nrows, dtype=VALUE_DTYPE)
+    k = 0
+    for i in range(matrix.nrows):
+        col = -1
+        acc = 0.0
+        for _ in range(int(matrix.row_counts[i])):
+            col += int(matrix.zero_runs[k]) + 1
+            acc += float(matrix.vals[k]) * float(v[col])
+            k += 1
+        y[i] = acc
+    return y
+
+
+def spmv_bcsr(matrix: BCSRMatrix, v) -> np.ndarray:
+    """Block walk: one dense (br x bc) mat-vec per stored block."""
+    br, bc = matrix.block_shape
+    v = _check_vec(v, matrix.ncols)
+    vpad = np.zeros(matrix.n_block_cols * bc, dtype=VALUE_DTYPE)
+    vpad[: matrix.ncols] = v
+    ypad = np.zeros(matrix.n_block_rows * br, dtype=np.float64)
+    for bi in range(matrix.n_block_rows):
+        lo, hi = matrix.block_rowptr[bi], matrix.block_rowptr[bi + 1]
+        for k in range(lo, hi):
+            bj = int(matrix.block_cols[k])
+            ypad[bi * br : (bi + 1) * br] += (
+                matrix.blocks[k].astype(np.float64)
+                @ vpad[bj * bc : (bj + 1) * bc].astype(np.float64)
+            )
+    return ypad[: matrix.nrows].astype(VALUE_DTYPE)
+
+
+def spmv_smash(matrix: SMASHMatrix, v) -> np.ndarray:
+    """Hierarchy descent: only regions whose level bits are set are read."""
+    v = _check_vec(v, matrix.ncols)
+    flat_mask = matrix._element_mask()
+    positions = np.nonzero(flat_mask)[0]
+    rows = positions // matrix.ncols
+    cols = positions % matrix.ncols
+    y = np.zeros(matrix.nrows, dtype=VALUE_DTYPE)
+    np.add.at(y, rows, matrix.vals * v[cols])
+    return y
+
+
+_DISPATCH = {
+    "csr": lambda m, v: m.spmv(v),
+    "coo": spmv_coo,
+    "csc": spmv_csc,
+    "bitvector": spmv_bitvector,
+    "rle": spmv_rle,
+    "bcsr": spmv_bcsr,
+    "smash": spmv_smash,
+}
+
+
+def spmv_any(matrix, v) -> np.ndarray:
+    """Dispatch SpMV to the matrix's format-native traversal."""
+    try:
+        fn = _DISPATCH[matrix.format_name]
+    except (AttributeError, KeyError):
+        raise SparseFormatError(
+            f"no native SpMV for {type(matrix).__name__}"
+        ) from None
+    return fn(matrix, v)

@@ -1,0 +1,38 @@
+"""Behavioural RV32-style instruction set: mnemonics, assembler, programs."""
+
+from .assembler import AssemblerError, assemble
+from .encoding import EncodingError, decode, encodable, encode, encode_program
+from .instructions import ALL_MNEMONICS, INSTRUCTION_CLASS, SYNTAX, Instr, instruction_class
+from .program import Program
+from .registers import (
+    RegisterError,
+    freg_name,
+    parse_freg,
+    parse_vreg,
+    parse_xreg,
+    vreg_name,
+    xreg_name,
+)
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "EncodingError",
+    "decode",
+    "encodable",
+    "encode",
+    "encode_program",
+    "ALL_MNEMONICS",
+    "INSTRUCTION_CLASS",
+    "SYNTAX",
+    "Instr",
+    "instruction_class",
+    "Program",
+    "RegisterError",
+    "parse_xreg",
+    "parse_freg",
+    "parse_vreg",
+    "xreg_name",
+    "freg_name",
+    "vreg_name",
+]

@@ -1,0 +1,353 @@
+"""RV32 binary encoding/decoding for the scalar subset.
+
+The simulator executes instruction *objects*, but a reproduction of a
+RISC-V system should still speak the real encoding: this module encodes
+RV32I + M + F instructions to their architectural 32-bit words and
+decodes them back, so kernels can be dumped as genuine RISC-V machine
+code (`encode_program`) and verified against external tooling.
+
+Scope: the scalar subset.  Pseudo-ops that have no single encoding
+(``li``/``la`` with full 32-bit immediates, ``halt``) and the vector
+extension (whose encodings depend on ratified vtype fields beyond this
+model) raise :class:`EncodingError` — callers lower or skip them.
+"""
+
+from __future__ import annotations
+
+from .instructions import Instr
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction has no (supported) binary encoding."""
+
+
+def _check_range(value: int, bits: int, name: str, *, signed: bool) -> int:
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{name}={value} does not fit in {bits} bits")
+    return value & ((1 << bits) - 1)
+
+
+# ---------------------------------------------------------------------------
+# Format packers
+# ---------------------------------------------------------------------------
+def _r(funct7: int, rs2: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _i(imm: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    imm = _check_range(imm, 12, "imm", signed=True)
+    return (imm << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _s(imm: int, rs2: int, rs1: int, funct3: int, opcode: int) -> int:
+    imm = _check_range(imm, 12, "imm", signed=True)
+    hi, lo = imm >> 5, imm & 0x1F
+    return (hi << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (lo << 7) | opcode
+
+
+def _b(offset: int, rs2: int, rs1: int, funct3: int, opcode: int) -> int:
+    if offset % 2:
+        raise EncodingError(f"branch offset {offset} must be even")
+    imm = _check_range(offset, 13, "branch offset", signed=True)
+    return (
+        (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+    )
+
+
+def _u(imm: int, rd: int, opcode: int) -> int:
+    imm = _check_range(imm, 20, "imm", signed=False) if imm >= 0 else _check_range(
+        imm, 20, "imm", signed=True
+    )
+    return (imm << 12) | (rd << 7) | opcode
+
+
+def _j(offset: int, rd: int, opcode: int) -> int:
+    if offset % 2:
+        raise EncodingError(f"jump offset {offset} must be even")
+    imm = _check_range(offset, 21, "jump offset", signed=True)
+    return (
+        (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | opcode
+    )
+
+
+def _r4(rs3: int, funct2: int, rs2: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    return (
+        (rs3 << 27) | (funct2 << 25) | (rs2 << 20) | (rs1 << 15)
+        | (funct3 << 12) | (rd << 7) | opcode
+    )
+
+
+# ---------------------------------------------------------------------------
+# Instruction tables
+# ---------------------------------------------------------------------------
+_OP = 0b0110011
+_OP_IMM = 0b0010011
+_LOAD = 0b0000011
+_STORE = 0b0100011
+_BRANCH = 0b1100011
+_LUI = 0b0110111
+_AUIPC = 0b0010111
+_JAL = 0b1101111
+_JALR = 0b1100111
+_LOAD_FP = 0b0000111
+_STORE_FP = 0b0100111
+_OP_FP = 0b1010011
+_FMADD = 0b1000011
+_FMSUB = 0b1000111
+_FNMSUB = 0b1001011
+_FNMADD = 0b1001111
+_SYSTEM = 0b1110011
+
+_R_OPS = {
+    "add": (0b0000000, 0b000), "sub": (0b0100000, 0b000),
+    "sll": (0b0000000, 0b001), "slt": (0b0000000, 0b010),
+    "sltu": (0b0000000, 0b011), "xor": (0b0000000, 0b100),
+    "srl": (0b0000000, 0b101), "sra": (0b0100000, 0b101),
+    "or": (0b0000000, 0b110), "and": (0b0000000, 0b111),
+    "mul": (0b0000001, 0b000), "mulh": (0b0000001, 0b001),
+    "mulhsu": (0b0000001, 0b010), "mulhu": (0b0000001, 0b011),
+    "div": (0b0000001, 0b100), "divu": (0b0000001, 0b101),
+    "rem": (0b0000001, 0b110), "remu": (0b0000001, 0b111),
+}
+
+_I_OPS = {
+    "addi": 0b000, "slti": 0b010, "sltiu": 0b011,
+    "xori": 0b100, "ori": 0b110, "andi": 0b111,
+}
+
+_SHIFT_OPS = {"slli": (0b0000000, 0b001), "srli": (0b0000000, 0b101),
+              "srai": (0b0100000, 0b101)}
+
+_LOAD_OPS = {"lb": 0b000, "lh": 0b001, "lw": 0b010, "lbu": 0b100, "lhu": 0b101}
+_STORE_OPS = {"sb": 0b000, "sh": 0b001, "sw": 0b010}
+_BRANCH_OPS = {"beq": 0b000, "bne": 0b001, "blt": 0b100,
+               "bge": 0b101, "bltu": 0b110, "bgeu": 0b111}
+
+_FP_R_OPS = {
+    "fadd.s": 0b0000000, "fsub.s": 0b0000100,
+    "fmul.s": 0b0001000, "fdiv.s": 0b0001100,
+}
+_FP_SGNJ = {"fsgnj.s": 0b000, "fsgnjn.s": 0b001, "fsgnjx.s": 0b010}
+_FP_MINMAX = {"fmin.s": 0b000, "fmax.s": 0b001}
+_FP_CMP = {"fle.s": 0b000, "flt.s": 0b001, "feq.s": 0b010}
+_FMA_OPS = {"fmadd.s": _FMADD, "fmsub.s": _FMSUB,
+            "fnmsub.s": _FNMSUB, "fnmadd.s": _FNMADD}
+
+_RNE = 0b000  # round-to-nearest-even rounding mode
+_DYN = 0b111  # dynamic rounding
+
+
+def encode(ins: Instr, index: int = 0) -> int:
+    """Encode one instruction to its RV32 word.
+
+    *index* is the instruction's position (branch/jump offsets are
+    computed from resolved targets: ``(target - index) * 4``).
+    """
+    op = ins.op
+    if op in _R_OPS:
+        funct7, funct3 = _R_OPS[op]
+        return _r(funct7, ins.rs2, ins.rs1, funct3, ins.rd, _OP)
+    if op in _I_OPS:
+        return _i(ins.imm, ins.rs1, _I_OPS[op], ins.rd, _OP_IMM)
+    if op in _SHIFT_OPS:
+        funct7, funct3 = _SHIFT_OPS[op]
+        shamt = _check_range(ins.imm, 5, "shamt", signed=False)
+        return _r(funct7, shamt, ins.rs1, funct3, ins.rd, _OP_IMM)
+    if op in _LOAD_OPS:
+        return _i(ins.imm, ins.rs1, _LOAD_OPS[op], ins.rd, _LOAD)
+    if op in _STORE_OPS:
+        return _s(ins.imm, ins.rs2, ins.rs1, _STORE_OPS[op], _STORE)
+    if op in _BRANCH_OPS:
+        offset = (ins.target - index) * 4
+        return _b(offset, ins.rs2, ins.rs1, _BRANCH_OPS[op], _BRANCH)
+    if op == "lui":
+        return _u(ins.imm & 0xFFFFF, ins.rd, _LUI)
+    if op == "auipc":
+        return _u(ins.imm & 0xFFFFF, ins.rd, _AUIPC)
+    if op == "jal":
+        return _j((ins.target - index) * 4, ins.rd, _JAL)
+    if op == "jalr":
+        return _i(ins.imm, ins.rs1, 0b000, ins.rd, _JALR)
+    if op == "flw":
+        return _i(ins.imm, ins.rs1, 0b010, ins.rd, _LOAD_FP)
+    if op == "fsw":
+        return _s(ins.imm, ins.rs2, ins.rs1, 0b010, _STORE_FP)
+    if op in _FP_R_OPS:
+        return _r(_FP_R_OPS[op], ins.rs2, ins.rs1, _RNE, ins.rd, _OP_FP)
+    if op in _FP_SGNJ:
+        return _r(0b0010000, ins.rs2, ins.rs1, _FP_SGNJ[op], ins.rd, _OP_FP)
+    if op in _FP_MINMAX:
+        return _r(0b0010100, ins.rs2, ins.rs1, _FP_MINMAX[op], ins.rd, _OP_FP)
+    if op in _FP_CMP:
+        return _r(0b1010000, ins.rs2, ins.rs1, _FP_CMP[op], ins.rd, _OP_FP)
+    if op in _FMA_OPS:
+        return _r4(ins.rs3, 0b00, ins.rs2, ins.rs1, _RNE, ins.rd, _FMA_OPS[op])
+    if op == "fmv.x.w":
+        return _r(0b1110000, 0, ins.rs1, 0b000, ins.rd, _OP_FP)
+    if op == "fmv.w.x":
+        return _r(0b1111000, 0, ins.rs1, 0b000, ins.rd, _OP_FP)
+    if op == "fcvt.w.s":
+        return _r(0b1100000, 0b00000, ins.rs1, _RNE, ins.rd, _OP_FP)
+    if op == "fcvt.wu.s":
+        return _r(0b1100000, 0b00001, ins.rs1, _RNE, ins.rd, _OP_FP)
+    if op == "fcvt.s.w":
+        return _r(0b1101000, 0b00000, ins.rs1, _RNE, ins.rd, _OP_FP)
+    if op == "fcvt.s.wu":
+        return _r(0b1101000, 0b00001, ins.rs1, _RNE, ins.rd, _OP_FP)
+    if op == "ecall":
+        return 0x00000073
+    if op == "ebreak":
+        return 0x00100073
+    raise EncodingError(f"no RV32 encoding for {op!r} (pseudo or vector op)")
+
+
+def encodable(ins: Instr) -> bool:
+    """True if :func:`encode` can produce a word for this instruction."""
+    try:
+        encode(ins, index=ins.target or 0)
+        return True
+    except EncodingError:
+        return False
+
+
+def encode_program(program, *, skip_unencodable: bool = False) -> list[int]:
+    """Encode a whole program; returns one u32 word per instruction.
+
+    With ``skip_unencodable`` the unsupported instructions (``li``,
+    ``halt``, vector ops) encode as 0 (an architecturally illegal
+    instruction) instead of raising.
+    """
+    words = []
+    for idx, ins in enumerate(program.instructions):
+        try:
+            words.append(encode(ins, idx))
+        except EncodingError:
+            if not skip_unencodable:
+                raise
+            words.append(0)
+    return words
+
+
+# ---------------------------------------------------------------------------
+# Decoding (the inverse, for the same subset)
+# ---------------------------------------------------------------------------
+def _sext(value: int, bits: int) -> int:
+    mask = 1 << (bits - 1)
+    return (value ^ mask) - mask
+
+
+def decode(word: int, index: int = 0) -> Instr:
+    """Decode an RV32 word back into an :class:`Instr`.
+
+    Branch/jump targets are resolved relative to *index*.
+    """
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == _OP:
+        for op, (f7, f3) in _R_OPS.items():
+            if (f7, f3) == (funct7, funct3):
+                return Instr(op=op, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == _OP_IMM:
+        imm = _sext(word >> 20, 12)
+        for op, f3 in _I_OPS.items():
+            if f3 == funct3:
+                return Instr(op=op, rd=rd, rs1=rs1, imm=imm)
+        for op, (f7, f3) in _SHIFT_OPS.items():
+            if f3 == funct3 and f7 == funct7:
+                return Instr(op=op, rd=rd, rs1=rs1, imm=rs2)
+    if opcode == _LOAD:
+        imm = _sext(word >> 20, 12)
+        for op, f3 in _LOAD_OPS.items():
+            if f3 == funct3:
+                return Instr(op=op, rd=rd, rs1=rs1, imm=imm)
+    if opcode == _STORE:
+        imm = _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+        for op, f3 in _STORE_OPS.items():
+            if f3 == funct3:
+                return Instr(op=op, rs1=rs1, rs2=rs2, imm=imm)
+    if opcode == _BRANCH:
+        imm = _sext(
+            (((word >> 31) & 1) << 12)
+            | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1),
+            13,
+        )
+        for op, f3 in _BRANCH_OPS.items():
+            if f3 == funct3:
+                return Instr(op=op, rs1=rs1, rs2=rs2, target=index + imm // 4)
+    if opcode == _LUI:
+        return Instr(op="lui", rd=rd, imm=word >> 12)
+    if opcode == _AUIPC:
+        return Instr(op="auipc", rd=rd, imm=word >> 12)
+    if opcode == _JAL:
+        imm = _sext(
+            (((word >> 31) & 1) << 20)
+            | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 21) & 0x3FF) << 1),
+            21,
+        )
+        return Instr(op="jal", rd=rd, target=index + imm // 4)
+    if opcode == _JALR and funct3 == 0:
+        return Instr(op="jalr", rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+    if opcode == _LOAD_FP and funct3 == 0b010:
+        return Instr(op="flw", rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+    if opcode == _STORE_FP and funct3 == 0b010:
+        imm = _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+        return Instr(op="fsw", rs1=rs1, rs2=rs2, imm=imm)
+    if opcode == _OP_FP:
+        for op, f7 in _FP_R_OPS.items():
+            if f7 == funct7:
+                return Instr(op=op, rd=rd, rs1=rs1, rs2=rs2)
+        if funct7 == 0b0010000:
+            for op, f3 in _FP_SGNJ.items():
+                if f3 == funct3:
+                    return Instr(op=op, rd=rd, rs1=rs1, rs2=rs2)
+        if funct7 == 0b0010100:
+            for op, f3 in _FP_MINMAX.items():
+                if f3 == funct3:
+                    return Instr(op=op, rd=rd, rs1=rs1, rs2=rs2)
+        if funct7 == 0b1010000:
+            for op, f3 in _FP_CMP.items():
+                if f3 == funct3:
+                    return Instr(op=op, rd=rd, rs1=rs1, rs2=rs2)
+        if funct7 == 0b1110000 and rs2 == 0 and funct3 == 0:
+            return Instr(op="fmv.x.w", rd=rd, rs1=rs1)
+        if funct7 == 0b1111000 and rs2 == 0 and funct3 == 0:
+            return Instr(op="fmv.w.x", rd=rd, rs1=rs1)
+        if funct7 == 0b1100000:
+            op = "fcvt.w.s" if rs2 == 0 else "fcvt.wu.s"
+            return Instr(op=op, rd=rd, rs1=rs1)
+        if funct7 == 0b1101000:
+            op = "fcvt.s.w" if rs2 == 0 else "fcvt.s.wu"
+            return Instr(op=op, rd=rd, rs1=rs1)
+    for op, fma_opcode in _FMA_OPS.items():
+        if opcode == fma_opcode:
+            return Instr(op=op, rd=rd, rs1=rs1, rs2=rs2, rs3=word >> 27)
+    if word == 0x00000073:
+        return Instr(op="ecall")
+    if word == 0x00100073:
+        return Instr(op="ebreak")
+    raise EncodingError(f"cannot decode word 0x{word:08x}")

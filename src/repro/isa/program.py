@@ -1,0 +1,56 @@
+"""Assembled-program container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .instructions import Instr
+
+
+@dataclass
+class Program:
+    """An assembled instruction sequence with its label map.
+
+    The program counter is an *instruction index*; the notional byte
+    address of instruction ``i`` is ``4 * i`` (RV32 fixed-width).
+    """
+
+    name: str
+    instructions: list[Instr]
+    labels: dict[str, int] = field(default_factory=dict)
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, idx: int) -> Instr:
+        return self.instructions[idx]
+
+    def label_address(self, label: str) -> int:
+        """Byte address of *label* (index * 4)."""
+        return self.labels[label] * 4
+
+    def entry_index(self, label: str | None = None) -> int:
+        """Instruction index to start execution from (0 or a label)."""
+        if label is None:
+            return 0
+        return self.labels[label]
+
+    def disassemble(self) -> str:
+        """Human-readable listing with label annotations."""
+        by_index: dict[int, list[str]] = {}
+        for label, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(label)
+        lines = []
+        for i, ins in enumerate(self.instructions):
+            for label in by_index.get(i, []):
+                lines.append(f"{label}:")
+            lines.append(f"  {i * 4:#07x}: {ins.text or ins.op}")
+        return "\n".join(lines)
+
+    def static_histogram(self) -> dict[str, int]:
+        """Static mnemonic counts (useful for code-size style analyses)."""
+        hist: dict[str, int] = {}
+        for ins in self.instructions:
+            hist[ins.op] = hist.get(ins.op, 0) + 1
+        return hist

@@ -1,0 +1,50 @@
+"""Assembly kernels: SpMV and SpMSpV, baseline and HHT-assisted."""
+
+from .common import program_hht
+from .firmware import (
+    FIRMWARES,
+    firmware_spmv_bitvector,
+    firmware_spmv_coo,
+    firmware_spmv_csr,
+    firmware_spmv_smash,
+)
+from .programmable import SUPPORTED_FORMATS, programmable_consumer
+from .spmspv import (
+    spmspv_baseline_scalar,
+    spmspv_baseline_vector,
+    spmspv_hht_aligned_scalar,
+    spmspv_hht_aligned_vector,
+    spmspv_hht_values_scalar,
+    spmspv_hht_values_vector,
+    spmspv_kernel,
+)
+from .spmv import (
+    spmv_baseline_scalar,
+    spmv_baseline_vector,
+    spmv_hht_scalar,
+    spmv_hht_vector,
+    spmv_kernel,
+)
+
+__all__ = [
+    "program_hht",
+    "FIRMWARES",
+    "firmware_spmv_bitvector",
+    "firmware_spmv_coo",
+    "firmware_spmv_csr",
+    "firmware_spmv_smash",
+    "SUPPORTED_FORMATS",
+    "programmable_consumer",
+    "spmv_baseline_scalar",
+    "spmv_baseline_vector",
+    "spmv_hht_scalar",
+    "spmv_hht_vector",
+    "spmv_kernel",
+    "spmspv_baseline_scalar",
+    "spmspv_baseline_vector",
+    "spmspv_hht_aligned_scalar",
+    "spmspv_hht_aligned_vector",
+    "spmspv_hht_values_scalar",
+    "spmspv_hht_values_vector",
+    "spmspv_kernel",
+]

@@ -1,0 +1,55 @@
+"""Shared helpers for the assembly kernel builders.
+
+Kernels are emitted as assembly text against the symbol table provided by
+:class:`repro.system.Soc` — operand arrays are referenced by the names the
+loader placed them under (``m_rows``, ``m_cols``, ``m_vals``, ``v``,
+``y``, ``sv_idx``, ``sv_vpad``, ``sv_map``) and the HHT registers by their
+``hht_*`` symbols.
+"""
+
+from __future__ import annotations
+
+from ..core.config import HHTMode
+
+
+def program_hht(mode: HHTMode, *, sparse_vector: bool, prefix: str = "m",
+                vprefix: str = "sv") -> str:
+    """Emit the MMR configuration + START sequence (Section 3.1).
+
+    The CPU writes each configuration register, then sets the START bit
+    last to trigger the hardware operation.
+    """
+    writes = [
+        ("hht_m_num_rows", f"{prefix}_num_rows"),
+        ("hht_m_num_cols", f"{prefix}_num_cols"),
+        ("hht_m_rows_base", f"{prefix}_rows"),
+        ("hht_m_cols_base", f"{prefix}_cols"),
+        ("hht_m_vals_base", f"{prefix}_vals"),
+        ("hht_elem_size", "4"),
+        ("hht_mode", str(int(mode))),
+    ]
+    if sparse_vector:
+        writes += [
+            ("hht_v_nnz", f"{vprefix}_nnz"),
+            ("hht_v_idx_base", f"{vprefix}_idx"),
+            ("hht_v_vals_base", f"{vprefix}_vpad"),
+            ("hht_v_map_base", f"{vprefix}_map"),
+        ]
+    else:
+        writes.append(("hht_v_base", "v"))
+    lines = ["    # --- program the HHT MMRs ---"]
+    for reg, value in writes:
+        lines.append(f"    la t0, {reg}")
+        lines.append(f"    li t1, {value}")
+        lines.append("    sw t1, 0(t0)")
+    lines += [
+        "    # START bit is set last (triggers the back-end)",
+        "    la t0, hht_start",
+        "    li t1, 1",
+        "    sw t1, 0(t0)",
+    ]
+    return "\n".join(lines)
+
+
+def kernel_header(comment: str) -> str:
+    return f"# {comment}\n"

@@ -1,0 +1,136 @@
+"""Consumer kernel for the programmable HHT (Section 7).
+
+Whatever firmware runs on the helper core — CSR, COO, bit-vector or
+SMASH — the primary CPU consumes one uniform protocol: per row, a match
+count from the COUNT FIFO, then that many (matrix-value, vector-value)
+pairs from the MVAL/VVAL FIFOs.  The consumer kernel is therefore
+format-agnostic except for which base addresses it programs into the
+MMRs — the flexibility the paper's conclusion argues for.
+"""
+
+from __future__ import annotations
+
+from ..core.config import HHTMode
+from .common import kernel_header
+
+#: Which MMRs each format's firmware needs, as (mmr-symbol, data-symbol).
+_FORMAT_MMR_WRITES: dict[str, list[tuple[str, str]]] = {
+    "csr": [
+        ("hht_m_rows_base", "m_rows"),
+        ("hht_m_cols_base", "m_cols"),
+        ("hht_m_vals_base", "m_vals"),
+    ],
+    "coo": [
+        ("hht_m_rows_base", "m_row_indices"),
+        ("hht_m_cols_base", "m_col_indices"),
+        ("hht_m_vals_base", "m_vals"),
+        ("hht_aux0", "m_nnz"),
+    ],
+    "bitvector": [
+        ("hht_m_vals_base", "m_vals"),
+        ("hht_aux0", "m_bitmap"),
+    ],
+    "smash": [
+        ("hht_m_vals_base", "m_vals"),
+        ("hht_aux0", "m_l0"),
+        ("hht_aux1", "m_l1"),
+    ],
+}
+
+SUPPORTED_FORMATS = tuple(sorted(_FORMAT_MMR_WRITES))
+
+
+def programmable_consumer(format_name: str, *, vector: bool = True) -> str:
+    """SpMV consumer for PROGRAMMABLE mode over the given matrix format."""
+    try:
+        format_writes = _FORMAT_MMR_WRITES[format_name]
+    except KeyError:
+        raise ValueError(
+            f"no firmware protocol for format {format_name!r}; "
+            f"supported: {SUPPORTED_FORMATS}"
+        ) from None
+
+    writes = [
+        ("hht_m_num_rows", "m_num_rows"),
+        ("hht_m_num_cols", "m_num_cols"),
+        ("hht_v_base", "v"),
+        ("hht_elem_size", "4"),
+        ("hht_mode", str(int(HHTMode.PROGRAMMABLE))),
+        *format_writes,
+    ]
+    lines = [kernel_header(
+        f"SpMV via programmable HHT, {format_name} firmware"
+    ).rstrip(), "    # --- program the HHT MMRs (firmware ABI inputs) ---"]
+    for reg, value in writes:
+        lines.append(f"    la t0, {reg}")
+        lines.append(f"    li t1, {value}")
+        lines.append("    sw t1, 0(t0)")
+    lines += [
+        "    la t0, hht_start",
+        "    li t1, 1",
+        "    sw t1, 0(t0)",
+    ]
+    body = _VECTOR_CONSUMER if vector else _SCALAR_CONSUMER
+    return "\n".join(lines) + body
+
+
+_VECTOR_CONSUMER = """
+    li   s0, m_num_rows
+    la   a4, hht_vval_fifo
+    la   a6, hht_mval_fifo
+    la   a5, hht_count_fifo
+    la   s5, y
+    beqz s0, done
+    li   t0, 0
+row_loop:
+    lw   t4, 0(a5)          # pairs in this row (from the firmware)
+    vsetvli t5, x0, e32, m1
+    vmv.v.i v0, 0
+    beqz t4, reduce
+chunk_loop:
+    vsetvli t5, t4, e32, m1
+    vle32.v v1, (a6)        # matrix values
+    vle32.v v2, (a4)        # vector values
+    vfmacc.vv v0, v1, v2
+    sub  t4, t4, t5
+    bnez t4, chunk_loop
+reduce:
+    vsetvli t5, x0, e32, m1
+    fmv.w.x ft0, zero
+    vfmv.s.f v4, ft0
+    vfredosum.vs v4, v0, v4
+    vfmv.f.s fa0, v4
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi t0, t0, 1
+    blt  t0, s0, row_loop
+done:
+    halt
+"""
+
+_SCALAR_CONSUMER = """
+    li   s0, m_num_rows
+    la   a4, hht_vval_fifo
+    la   a6, hht_mval_fifo
+    la   a5, hht_count_fifo
+    la   s5, y
+    beqz s0, done
+    li   t0, 0
+row_loop:
+    lw   t4, 0(a5)
+    fmv.w.x fa0, zero
+    beqz t4, store
+pair_loop:
+    flw  fa1, 0(a6)
+    flw  fa2, 0(a4)
+    fmadd.s fa0, fa1, fa2, fa0
+    addi t4, t4, -1
+    bnez t4, pair_loop
+store:
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi t0, t0, 1
+    blt  t0, s0, row_loop
+done:
+    halt
+"""

@@ -1,0 +1,282 @@
+"""SpMSpV kernels: sparse matrix x sparse vector (Section 5.1).
+
+The sparse vector is stored as (indices, padded values, position map) —
+see :class:`repro.formats.SparseVector`.  The software baseline resolves
+each matrix non-zero through **two** levels of indirection:
+``pos = map[col]`` then ``vpad[pos]`` (``vpad[0]`` is 0.0, so misses
+contribute zero without branching).  The HHT variants offload exactly
+that metadata chain:
+
+* **variant-1** (:func:`spmspv_hht_aligned_*`): the HHT merges the index
+  lists and streams only the *aligned* non-zero pairs plus a per-row
+  match count.  The CPU multiplies pairs — minimal work, but the HHT does
+  the heavy traversal, so the CPU idles (Fig. 7).
+* **variant-2** (:func:`spmspv_hht_values_*`): the HHT streams one vector
+  value (or zero) per matrix non-zero; the CPU keeps loading matrix
+  values itself and multiply-accumulates everything, including the
+  "wasted" zero products the paper discusses.
+"""
+
+from __future__ import annotations
+
+from ..core.config import HHTMode
+from .common import kernel_header, program_hht
+
+
+def spmspv_baseline_scalar() -> str:
+    """Scalar SpMSpV baseline: two dependent indirections per non-zero."""
+    return kernel_header("SpMSpV scalar baseline (map + padded values)") + """
+    li   s0, m_num_rows
+    la   s1, m_rows
+    la   a2, m_cols
+    la   a3, m_vals
+    la   s8, sv_map
+    la   s9, sv_vpad
+    la   s5, y
+    beqz s0, done
+    li   t0, 0
+    lw   t2, 0(s1)
+row_loop:
+    lw   t3, 4(s1)
+    fmv.w.x fa0, zero
+    bge  t2, t3, store
+elem_loop:
+    lw   t6, 0(a2)          # col = cols[k]                  [meta]
+    slli t6, t6, 2          #                                [meta]
+    add  t6, t6, s8         #                                [meta]
+    lw   t6, 0(t6)          # pos = map[col]  (indirection 1) [meta]
+    slli t6, t6, 2          #                                [meta]
+    add  t6, t6, s9         #                                [meta]
+    flw  fa1, 0(t6)         # vpad[pos]       (indirection 2) [meta]
+    flw  fa2, 0(a3)
+    fmadd.s fa0, fa1, fa2, fa0
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi t2, t2, 1
+    blt  t2, t3, elem_loop
+store:
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi s1, s1, 4
+    addi t0, t0, 1
+    blt  t0, s0, row_loop
+done:
+    halt
+"""
+
+
+def spmspv_baseline_vector() -> str:
+    """Vector SpMSpV baseline: two chained indexed gathers per chunk."""
+    return kernel_header("SpMSpV vector baseline (double gather)") + """
+    li   s0, m_num_rows
+    la   s1, m_rows
+    la   a2, m_cols
+    la   a3, m_vals
+    la   s8, sv_map
+    la   s9, sv_vpad
+    la   s5, y
+    beqz s0, done
+    li   t0, 0
+    lw   t2, 0(s1)
+row_loop:
+    lw   t3, 4(s1)
+    sub  t4, t3, t2
+    vsetvli t5, x0, e32, m1
+    vmv.v.i v0, 0
+    beqz t4, reduce
+chunk_loop:
+    vsetvli t5, t4, e32, m1
+    vle32.v v1, (a2)        # column indices                [meta]
+    vsll.vi v1, v1, 2       #                               [meta]
+    vluxei32.v v6, (s8), v1 # pos = map[col]      (gather 1) [meta]
+    vsll.vi v6, v6, 2       #                               [meta]
+    vluxei32.v v7, (s9), v6 # vpad[pos]           (gather 2) [meta]
+    vle32.v v3, (a3)        # matrix values
+    vfmacc.vv v0, v7, v3
+    slli t6, t5, 2
+    add  a2, a2, t6
+    add  a3, a3, t6
+    sub  t4, t4, t5
+    bnez t4, chunk_loop
+reduce:
+    vsetvli t5, x0, e32, m1
+    fmv.w.x ft0, zero
+    vfmv.s.f v4, ft0
+    vfredosum.vs v4, v0, v4
+    vfmv.f.s fa0, v4
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi s1, s1, 4
+    mv   t2, t3
+    addi t0, t0, 1
+    blt  t0, s0, row_loop
+done:
+    halt
+"""
+
+
+def spmspv_hht_aligned_vector() -> str:
+    """Variant-1, vector CPU: consume (count, mval, vval) FIFO streams."""
+    return kernel_header("SpMSpV variant-1 with HHT (aligned pairs)") + program_hht(
+        HHTMode.SPMSPV_ALIGNED, sparse_vector=True
+    ) + """
+    li   s0, m_num_rows
+    la   a4, hht_vval_fifo
+    la   a6, hht_mval_fifo
+    la   a5, hht_count_fifo
+    la   s5, y
+    beqz s0, done
+    li   t0, 0
+row_loop:
+    lw   t4, 0(a5)          # matches in this row (from the HHT merge)
+    vsetvli t5, x0, e32, m1
+    vmv.v.i v0, 0
+    beqz t4, reduce
+chunk_loop:
+    vsetvli t5, t4, e32, m1
+    vle32.v v1, (a6)        # matched matrix values
+    vle32.v v2, (a4)        # matched vector values
+    vfmacc.vv v0, v1, v2
+    sub  t4, t4, t5
+    bnez t4, chunk_loop
+reduce:
+    vsetvli t5, x0, e32, m1
+    fmv.w.x ft0, zero
+    vfmv.s.f v4, ft0
+    vfredosum.vs v4, v0, v4
+    vfmv.f.s fa0, v4
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi t0, t0, 1
+    blt  t0, s0, row_loop
+done:
+    halt
+"""
+
+
+def spmspv_hht_aligned_scalar() -> str:
+    """Variant-1, scalar CPU."""
+    return kernel_header("SpMSpV variant-1 with HHT, scalar CPU") + program_hht(
+        HHTMode.SPMSPV_ALIGNED, sparse_vector=True
+    ) + """
+    li   s0, m_num_rows
+    la   a4, hht_vval_fifo
+    la   a6, hht_mval_fifo
+    la   a5, hht_count_fifo
+    la   s5, y
+    beqz s0, done
+    li   t0, 0
+row_loop:
+    lw   t4, 0(a5)
+    fmv.w.x fa0, zero
+    beqz t4, store
+pair_loop:
+    flw  fa1, 0(a6)
+    flw  fa2, 0(a4)
+    fmadd.s fa0, fa1, fa2, fa0
+    addi t4, t4, -1
+    bnez t4, pair_loop
+store:
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi t0, t0, 1
+    blt  t0, s0, row_loop
+done:
+    halt
+"""
+
+
+def spmspv_hht_values_vector() -> str:
+    """Variant-2, vector CPU: HHT supplies the vector value per non-zero."""
+    return kernel_header("SpMSpV variant-2 with HHT (vector values)") + program_hht(
+        HHTMode.SPMSPV_VALUES, sparse_vector=True
+    ) + """
+    li   s0, m_num_rows
+    la   s1, m_rows
+    la   a3, m_vals
+    la   a4, hht_vval_fifo
+    la   s5, y
+    beqz s0, done
+    li   t0, 0
+    lw   t2, 0(s1)
+row_loop:
+    lw   t3, 4(s1)
+    sub  t4, t3, t2
+    vsetvli t5, x0, e32, m1
+    vmv.v.i v0, 0
+    beqz t4, reduce
+chunk_loop:
+    vsetvli t5, t4, e32, m1
+    vle32.v v3, (a3)        # matrix values (CPU's own unit-stride loads)
+    vle32.v v2, (a4)        # vector values (or zeros) from the HHT
+    vfmacc.vv v0, v2, v3
+    slli t6, t5, 2
+    add  a3, a3, t6
+    sub  t4, t4, t5
+    bnez t4, chunk_loop
+reduce:
+    vsetvli t5, x0, e32, m1
+    fmv.w.x ft0, zero
+    vfmv.s.f v4, ft0
+    vfredosum.vs v4, v0, v4
+    vfmv.f.s fa0, v4
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi s1, s1, 4
+    mv   t2, t3
+    addi t0, t0, 1
+    blt  t0, s0, row_loop
+done:
+    halt
+"""
+
+
+def spmspv_hht_values_scalar() -> str:
+    """Variant-2, scalar CPU."""
+    return kernel_header("SpMSpV variant-2 with HHT, scalar CPU") + program_hht(
+        HHTMode.SPMSPV_VALUES, sparse_vector=True
+    ) + """
+    li   s0, m_num_rows
+    la   s1, m_rows
+    la   a3, m_vals
+    la   a4, hht_vval_fifo
+    la   s5, y
+    beqz s0, done
+    li   t0, 0
+    lw   t2, 0(s1)
+row_loop:
+    lw   t3, 4(s1)
+    fmv.w.x fa0, zero
+    bge  t2, t3, store
+elem_loop:
+    flw  fa1, 0(a4)
+    flw  fa2, 0(a3)
+    fmadd.s fa0, fa1, fa2, fa0
+    addi a3, a3, 4
+    addi t2, t2, 1
+    blt  t2, t3, elem_loop
+store:
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi s1, s1, 4
+    addi t0, t0, 1
+    blt  t0, s0, row_loop
+done:
+    halt
+"""
+
+
+def spmspv_kernel(*, mode: str, vector: bool) -> str:
+    """Dispatch helper: mode in {'baseline', 'hht_v1', 'hht_v2'}."""
+    table = {
+        ("baseline", True): spmspv_baseline_vector,
+        ("baseline", False): spmspv_baseline_scalar,
+        ("hht_v1", True): spmspv_hht_aligned_vector,
+        ("hht_v1", False): spmspv_hht_aligned_scalar,
+        ("hht_v2", True): spmspv_hht_values_vector,
+        ("hht_v2", False): spmspv_hht_values_scalar,
+    }
+    try:
+        return table[(mode, vector)]()
+    except KeyError:
+        raise ValueError(f"unknown SpMSpV kernel mode {mode!r}") from None

@@ -1,0 +1,24 @@
+"""Memory system: RAM storage, pipelined port timing, bus and layout."""
+
+from .bus import MMIO_BASE, Bus, MMIODevice
+from .cache import CacheConfig, CacheStats, L1Cache
+from .hierarchy import MemorySystem
+from .layout import MemoryLayout, Segment
+from .port import MemoryPort, PortStats
+from .ram import MemoryAccessError, Ram
+
+__all__ = [
+    "MMIO_BASE",
+    "Bus",
+    "MMIODevice",
+    "CacheConfig",
+    "CacheStats",
+    "L1Cache",
+    "MemorySystem",
+    "MemoryLayout",
+    "Segment",
+    "MemoryPort",
+    "PortStats",
+    "MemoryAccessError",
+    "Ram",
+]

@@ -1,0 +1,78 @@
+"""Memory-system timing front door: flat SRAM or L1D-cached.
+
+Both the CPU's bus and the HHT back-end engines charge their memory
+timing through one :class:`MemorySystem`.  With ``cache=None`` (the
+Table-1 MCU) every access is a port issue; with an L1D configured (the
+Section 3.2 high-performance integration) reads go through the cache —
+for the CPU *and* the HHT ("HHT will access the cache for fetching
+sparse data") — and writes are written through.
+"""
+
+from __future__ import annotations
+
+from .cache import L1Cache
+from .port import MemoryPort
+
+
+class MemorySystem:
+    """Address-aware timing facade over the port and the optional L1D."""
+
+    def __init__(self, port: MemoryPort, cache: L1Cache | None = None):
+        self.port = port
+        self.cache = cache
+
+    def reset(self) -> None:
+        self.port.reset()
+        if self.cache is not None:
+            self.cache.reset()
+
+    # ------------------------------------------------------------------
+    def read(self, addr: int, cycle: int, requester: str) -> int:
+        """One word read; returns the completion cycle."""
+        if self.cache is None:
+            return self.port.issue(cycle, requester)
+        return self.cache.read(addr, cycle, requester)
+
+    def write(self, addr: int, cycle: int, requester: str) -> int:
+        """One word write (write-through when cached)."""
+        if self.cache is None:
+            return self.port.issue(cycle, requester)
+        return self.cache.write(addr, cycle, requester)
+
+    def read_seq(
+        self, addr: int, words: int, cycle: int, requester: str,
+        *, words_per_slot: int = 1,
+    ) -> int:
+        """Sequential read of *words* 32-bit words starting at *addr*.
+
+        Uncached: a pipelined burst (optionally wide — the HHT's
+        memory-side interface).  Cached: one cache access per line the
+        range touches, issued back to back; the line fills themselves
+        serialise on the memory port.
+        """
+        if words <= 0:
+            return cycle
+        if self.cache is None:
+            slots = (words + words_per_slot - 1) // words_per_slot
+            return self.port.issue_burst(cycle, slots, requester)
+        line = self.cache.config.line_bytes
+        first = addr - (addr % line)
+        last = addr + 4 * words - 1
+        completion = cycle
+        t = cycle
+        while first <= last:
+            completion = max(completion, self.cache.read(first, t, requester))
+            t += 1  # one lookup per cycle
+            first += line
+        return completion
+
+    def write_seq(self, addr: int, words: int, cycle: int, requester: str) -> int:
+        """Sequential write of *words* words (write-through when cached)."""
+        if words <= 0:
+            return cycle
+        if self.cache is None:
+            return self.port.issue_burst(cycle, words, requester)
+        completion = cycle
+        for i in range(words):
+            completion = self.cache.write(addr + 4 * i, cycle + i, requester)
+        return completion

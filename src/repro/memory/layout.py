@@ -1,0 +1,92 @@
+"""Bump allocator for laying out program data in RAM.
+
+The software side of the paper programs the HHT with *base addresses* of
+the CSR arrays and the vector (Section 3.1's MMR list), so experiments
+need a deterministic way to place arrays in the simulated RAM.  The
+allocator hands out word-aligned, non-overlapping segments and remembers
+them by name for later readback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ram import MemoryAccessError, Ram
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A named allocation: ``[base, base + size_bytes)``."""
+
+    name: str
+    base: int
+    size_bytes: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    @property
+    def words(self) -> int:
+        return self.size_bytes // 4
+
+
+class MemoryLayout:
+    """Word-aligned bump allocator over a RAM's address range."""
+
+    def __init__(self, ram: Ram, *, base: int = 0, align: int = 4):
+        if align < 4 or align & (align - 1):
+            raise ValueError(f"alignment must be a power of two >= 4, got {align}")
+        self.ram = ram
+        self.align = align
+        self._cursor = self._align_up(base)
+        self._segments: dict[str, Segment] = {}
+
+    def _align_up(self, addr: int) -> int:
+        mask = self.align - 1
+        return (addr + mask) & ~mask
+
+    @property
+    def bytes_used(self) -> int:
+        return self._cursor
+
+    @property
+    def bytes_free(self) -> int:
+        return self.ram.size - self._cursor
+
+    def allocate(self, name: str, size_bytes: int) -> Segment:
+        """Reserve *size_bytes* (rounded up to alignment) under *name*."""
+        if name in self._segments:
+            raise ValueError(f"segment {name!r} already allocated")
+        if size_bytes < 0:
+            raise ValueError(f"size must be non-negative, got {size_bytes}")
+        base = self._cursor
+        size = self._align_up(size_bytes)
+        if base + size > self.ram.size:
+            raise MemoryAccessError(
+                f"allocating {size} bytes for {name!r} at 0x{base:08x} exceeds "
+                f"RAM size {self.ram.size} (increase SystemConfig.ram_bytes)"
+            )
+        self._cursor = base + size
+        seg = Segment(name, base, size)
+        self._segments[name] = seg
+        return seg
+
+    def place_array(self, name: str, array) -> Segment:
+        """Allocate a segment sized for the 32-bit *array* and copy it in."""
+        import numpy as np
+
+        arr = np.ascontiguousarray(array)
+        seg = self.allocate(name, arr.size * arr.dtype.itemsize)
+        if arr.size:
+            self.ram.write_array(seg.base, arr)
+        return seg
+
+    def __getitem__(self, name: str) -> Segment:
+        return self._segments[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._segments
+
+    def segments(self) -> list[Segment]:
+        return sorted(self._segments.values(), key=lambda s: s.base)

@@ -1,0 +1,80 @@
+"""Timing model of a pipelined memory issue port.
+
+Table 1's system has a single on-chip RAM shared by the CPU and the HHT
+(Section 3.2: "the BE issues requests to the on-chip RAM via an on-chip
+interconnect").  We model the RAM as *pipelined*: it accepts at most one
+word request per cycle and answers a fixed number of cycles later.  Both
+the CPU's load/store unit and the HHT back-end contend for the same issue
+slots, which is how memory contention between the two engines arises.
+
+The port is event-driven: a request presented at cycle ``t`` is issued at
+``max(t, next_free_slot)`` and completes ``latency`` cycles after issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PortStats:
+    """Counters accumulated by a :class:`MemoryPort`."""
+
+    requests: int = 0
+    queue_cycles: int = 0  # cycles requests spent waiting for an issue slot
+    by_requester: dict[str, int] = field(default_factory=dict)
+
+    def record(self, requester: str, waited: int) -> None:
+        self.requests += 1
+        self.queue_cycles += waited
+        self.by_requester[requester] = self.by_requester.get(requester, 0) + 1
+
+
+class MemoryPort:
+    """Single-issue pipelined port: 1 request/cycle, fixed response latency."""
+
+    def __init__(self, latency: int = 2, name: str = "ram"):
+        if latency < 1:
+            raise ValueError(f"latency must be >= 1, got {latency}")
+        self.latency = int(latency)
+        self.name = name
+        self.next_free_slot = 0
+        self.stats = PortStats()
+
+    def reset(self) -> None:
+        self.next_free_slot = 0
+        self.stats = PortStats()
+
+    def issue(self, cycle: int, requester: str = "cpu") -> int:
+        """Issue one word request at *cycle*; return its completion cycle."""
+        slot = cycle if cycle >= self.next_free_slot else self.next_free_slot
+        self.next_free_slot = slot + 1
+        self.stats.record(requester, slot - cycle)
+        return slot + self.latency
+
+    def issue_burst(self, cycle: int, count: int, requester: str = "cpu") -> int:
+        """Issue *count* back-to-back word requests; return the completion
+        cycle of the last one.
+
+        A burst models a unit-stride vector load/store: the addresses are
+        sequential so the requests stream through the pipelined port one
+        per cycle.
+        """
+        if count <= 0:
+            return cycle
+        slot = cycle if cycle >= self.next_free_slot else self.next_free_slot
+        self.next_free_slot = slot + count
+        self.stats.record(requester, slot - cycle)
+        if count > 1:
+            # Remaining beats issue with no extra queueing by construction.
+            self.stats.requests += count - 1
+            self.stats.by_requester[requester] = (
+                self.stats.by_requester.get(requester, 0) + count - 1
+            )
+        return slot + count - 1 + self.latency
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MemoryPort {self.name!r} latency={self.latency} "
+            f"next_free={self.next_free_slot} requests={self.stats.requests}>"
+        )

@@ -1,0 +1,114 @@
+"""Power model of the RISC-V core and the HHT (Section 5.5).
+
+Anchored to the paper's two published PrimeTime numbers at 16 nm /
+50 MHz: the RISC-V core alone draws 223 uW; RISC-V + HHT draws 314 uW
+(i.e. the HHT adds 91 uW).  The model decomposes each engine's power into
+a dynamic part, linear in clock frequency, and a static (leakage) part,
+and scales both across the paper's synthesis corners (28/16/7 nm at
+10/50/100 MHz) with representative technology factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Clock frequencies the paper synthesised at (MHz).
+CLOCKS_MHZ = (10, 50, 100)
+
+#: Feature sizes the paper synthesised at (nm).
+FEATURE_SIZES_NM = (28, 16, 7)
+
+#: Dynamic-power scale factor relative to 16 nm (C * V^2 trend).
+DYNAMIC_SCALE = {28: 2.1, 16: 1.0, 7: 0.42}
+
+#: Static (leakage) power scale relative to 16 nm.
+STATIC_SCALE = {28: 1.4, 16: 1.0, 7: 0.55}
+
+#: Calibration anchors at 16 nm (dynamic in uW/MHz, static in uW), chosen
+#: to reproduce the paper's 223 uW (CPU) and 314 uW (CPU + HHT) at 50 MHz.
+_CPU_DYN_UW_PER_MHZ = 4.1
+_CPU_STATIC_UW = 18.0
+_HHT_DYN_UW_PER_MHZ = 1.68
+_HHT_STATIC_UW = 7.0
+
+
+class PowerModelError(ValueError):
+    """Raised for unsupported synthesis corners."""
+
+
+def _check_corner(feature_nm: int, clock_mhz: float) -> None:
+    if feature_nm not in DYNAMIC_SCALE:
+        raise PowerModelError(
+            f"unsupported feature size {feature_nm} nm; known: {FEATURE_SIZES_NM}"
+        )
+    if clock_mhz <= 0:
+        raise PowerModelError(f"clock must be positive, got {clock_mhz} MHz")
+
+
+@dataclass(frozen=True)
+class EnginePower:
+    """Power draw of one engine at a synthesis corner."""
+
+    name: str
+    dynamic_uw: float
+    static_uw: float
+
+    @property
+    def total_uw(self) -> float:
+        return self.dynamic_uw + self.static_uw
+
+
+def cpu_power(feature_nm: int = 16, clock_mhz: float = 50.0) -> EnginePower:
+    """RISC-V (Ibex-class) core power at a synthesis corner."""
+    _check_corner(feature_nm, clock_mhz)
+    dyn = _CPU_DYN_UW_PER_MHZ * clock_mhz * DYNAMIC_SCALE[feature_nm]
+    sta = _CPU_STATIC_UW * STATIC_SCALE[feature_nm]
+    return EnginePower("riscv", dyn, sta)
+
+
+def hht_power(feature_nm: int = 16, clock_mhz: float = 50.0) -> EnginePower:
+    """HHT power at a synthesis corner (variant-2 design, Section 5.5)."""
+    _check_corner(feature_nm, clock_mhz)
+    dyn = _HHT_DYN_UW_PER_MHZ * clock_mhz * DYNAMIC_SCALE[feature_nm]
+    sta = _HHT_STATIC_UW * STATIC_SCALE[feature_nm]
+    return EnginePower("hht", dyn, sta)
+
+
+#: Helper-core anchors (Section 7: "consuming less energy than a
+#: full-fledged primary CPU core") — scaled from the CPU anchors by the
+#: helper/Ibex gate ratio.
+_HELPER_DYN_UW_PER_MHZ = 2.4
+_HELPER_STATIC_UW = 10.0
+
+
+def programmable_hht_power(feature_nm: int = 16, clock_mhz: float = 50.0) -> EnginePower:
+    """Programmable HHT power (helper core + FE) at a synthesis corner."""
+    _check_corner(feature_nm, clock_mhz)
+    dyn = _HELPER_DYN_UW_PER_MHZ * clock_mhz * DYNAMIC_SCALE[feature_nm]
+    sta = _HELPER_STATIC_UW * STATIC_SCALE[feature_nm]
+    return EnginePower("programmable_hht", dyn, sta)
+
+
+def system_power(feature_nm: int = 16, clock_mhz: float = 50.0,
+                 *, with_hht: bool = True) -> float:
+    """Total system power in uW (paper: 223 uW alone, 314 uW with HHT)."""
+    total = cpu_power(feature_nm, clock_mhz).total_uw
+    if with_hht:
+        total += hht_power(feature_nm, clock_mhz).total_uw
+    return total
+
+
+def power_table() -> list[tuple[int, float, float, float]]:
+    """(feature_nm, clock_mhz, cpu_uw, cpu+hht_uw) over all corners."""
+    rows = []
+    for nm in FEATURE_SIZES_NM:
+        for mhz in CLOCKS_MHZ:
+            rows.append(
+                (
+                    nm,
+                    float(mhz),
+                    system_power(nm, mhz, with_hht=False),
+                    system_power(nm, mhz, with_hht=True),
+                )
+            )
+    return rows

@@ -1,0 +1,6 @@
+"""SoC composition and run infrastructure."""
+
+from .config import SystemConfig
+from .soc import RunResult, Soc
+
+__all__ = ["SystemConfig", "RunResult", "Soc"]

@@ -1,0 +1,70 @@
+"""Whole-system configuration (the paper's Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import HHTConfig
+from ..cpu.timing import CpuConfig
+from ..memory.cache import CacheConfig
+
+
+@dataclass
+class SystemConfig:
+    """Configuration of the simulated MCU system.
+
+    Defaults reproduce Table 1: a 1.1 GHz RV32 core with vector width 8
+    and SEW=32, an ASIC HHT with N=2 buffers of 32 bytes, and 1 MB of
+    on-chip RAM.  ``ram_latency`` is the pipelined SRAM response latency
+    in cycles; ``ram_bytes`` may be raised for the large DNN layers (the
+    paper tiles those instead — see DESIGN.md).
+    """
+
+    ram_bytes: int = 1 << 20
+    ram_latency: int = 2
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    hht: HHTConfig = field(default_factory=HHTConfig)
+    #: Optional L1D (the Section 3.2 high-performance integration);
+    #: None = the Table-1 flat-SRAM MCU.
+    cache: CacheConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.ram_bytes <= 0 or self.ram_bytes % 4:
+            raise ValueError(f"ram_bytes must be a positive multiple of 4")
+        if self.ram_latency < 1:
+            raise ValueError(f"ram_latency must be >= 1, got {self.ram_latency}")
+
+    @classmethod
+    def paper_table1(cls, *, vlmax: int = 8, n_buffers: int = 2) -> "SystemConfig":
+        """The Table 1 system, with the two swept parameters exposed."""
+        cfg = cls()
+        cfg.cpu.vlmax = vlmax
+        cfg.hht.n_buffers = n_buffers
+        # Buffers hold one vector-register's worth of elements; with a
+        # scalar CPU the Table-1 32-byte (8-element) buffer is kept.
+        cfg.hht.buffer_elems = 8 if vlmax == 1 else vlmax
+        return cfg
+
+    def describe(self) -> str:
+        """Render the configuration in the shape of the paper's Table 1."""
+        lines = [
+            ("Core", "RISCV ISA with 32 bit Floating-point Extensions"),
+            ("", f"Frequency = {self.cpu.frequency_hz / 1e9:.1f} GHz"),
+            ("", f"Vector width (VL) = {self.cpu.vlmax} Elements"),
+            ("", "Element Size (SEW) = 32 bit"),
+            ("", f"Vector Arithmetic Latency = {self.cpu.latencies.vector_fp} cycles"),
+            ("ASIC HHT", f"N={self.hht.n_buffers} Buffers"),
+            ("", f"Buffer size = {self.hht.buffer_bytes}B"),
+            ("RAM", f"Size = {self.ram_bytes // (1 << 20)}MB"
+                    if self.ram_bytes >= (1 << 20)
+                    else f"Size = {self.ram_bytes // 1024}KB"),
+            ("", f"Latency = {self.ram_latency} cycles (pipelined)"),
+        ]
+        if self.cache is not None:
+            lines.append(
+                ("L1D", f"{self.cache.size_bytes // 1024}KB, "
+                        f"{self.cache.assoc}-way, "
+                        f"{self.cache.line_bytes}B lines")
+            )
+        width = max(len(k) for k, _ in lines)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in lines)

@@ -1,0 +1,238 @@
+"""System-on-chip composition: CPU + shared RAM + HHT on one bus.
+
+``Soc`` owns the simulated machine and provides the data-placement and
+HHT-programming conveniences the kernels and experiment harness use:
+
+* :meth:`load_csr` / :meth:`load_dense_vector` / :meth:`load_sparse_vector`
+  place operand arrays in RAM and record their segments;
+* :meth:`symbols` exposes the segment base addresses (plus the HHT MMR
+  addresses) to the assembler;
+* :meth:`run` executes an assembled program and returns a
+  :class:`RunResult` with the merged CPU/HHT/port statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import HHT_BASE, MMR
+from ..core.hht import HHT
+from ..cpu.core import Cpu, CpuStats
+from ..formats.csr import CSRMatrix
+from ..formats.sparse_vector import SparseVector
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from ..memory.bus import Bus
+from ..memory.cache import L1Cache
+from ..memory.layout import MemoryLayout
+from ..memory.port import MemoryPort
+from ..memory.ram import Ram
+from .config import SystemConfig
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution on the SoC."""
+
+    cycles: int
+    instructions: int
+    cpu_stats: CpuStats
+    hht_stats: dict[str, int]
+    port_requests: dict[str, int]
+    frequency_hz: float
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.frequency_hz
+
+    @property
+    def cpu_wait_cycles(self) -> int:
+        return self.hht_stats.get("cpu_wait_cycles", 0)
+
+    @property
+    def cpu_wait_fraction(self) -> float:
+        """Fraction of total execution the CPU idled for the HHT (Figs 6-7)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.cpu_wait_cycles / self.cycles
+
+    @property
+    def hht_wait_cycles(self) -> int:
+        return self.hht_stats.get("hht_wait_cycles", 0)
+
+
+class Soc:
+    """The simulated heterogeneous CPU-HHT system."""
+
+    def __init__(self, config: SystemConfig | None = None):
+        self.config = config or SystemConfig()
+        self.ram = Ram(self.config.ram_bytes)
+        self.port = MemoryPort(latency=self.config.ram_latency)
+        cache = (
+            L1Cache(self.config.cache, self.port)
+            if self.config.cache is not None
+            else None
+        )
+        self.bus = Bus(self.ram, self.port, cache=cache)
+        self.cache = cache
+        self.cpu = Cpu(self.bus, self.config.cpu)
+        self.hht = HHT(self.config.hht, self.ram, self.bus.mem)
+        self.bus.attach_device(HHT_BASE, MMR.REGION_SIZE, self.hht)
+        self.layout = MemoryLayout(self.ram, base=0x100)
+        self._symbols: dict[str, int] = dict(_MMR_SYMBOLS)
+
+    # ------------------------------------------------------------------
+    # Data placement
+    # ------------------------------------------------------------------
+    def place(self, name: str, array: np.ndarray) -> int:
+        """Place a 32-bit array in RAM; returns its base address."""
+        seg = self.layout.place_array(name, array)
+        self._symbols[name] = seg.base
+        return seg.base
+
+    def allocate(self, name: str, size_bytes: int) -> int:
+        seg = self.layout.allocate(name, size_bytes)
+        self._symbols[name] = seg.base
+        return seg.base
+
+    def load_csr(self, matrix: CSRMatrix, prefix: str = "m") -> dict[str, int]:
+        """Place a CSR matrix's three arrays; returns their base addresses."""
+        bases = {
+            f"{prefix}_rows": self.place(f"{prefix}_rows", matrix.rows),
+            f"{prefix}_cols": self.place(f"{prefix}_cols", matrix.cols),
+            f"{prefix}_vals": self.place(f"{prefix}_vals", matrix.vals),
+        }
+        self._symbols[f"{prefix}_num_rows"] = matrix.nrows
+        self._symbols[f"{prefix}_num_cols"] = matrix.ncols
+        return bases
+
+    def load_dense_vector(self, v: np.ndarray, name: str = "v") -> int:
+        return self.place(name, np.ascontiguousarray(v, dtype=np.float32))
+
+    def load_coo_image(self, matrix, prefix: str = "m") -> dict[str, int]:
+        """Place a row-major-sorted COO image (programmable-HHT firmware)."""
+        sorted_coo = matrix.sorted_row_major()
+        bases = {
+            f"{prefix}_row_indices": self.place(
+                f"{prefix}_row_indices", sorted_coo.row_indices
+            ),
+            f"{prefix}_col_indices": self.place(
+                f"{prefix}_col_indices", sorted_coo.col_indices
+            ),
+            f"{prefix}_vals": self.place(f"{prefix}_vals", sorted_coo.vals),
+        }
+        self._symbols[f"{prefix}_num_rows"] = matrix.nrows
+        self._symbols[f"{prefix}_num_cols"] = matrix.ncols
+        self._symbols[f"{prefix}_nnz"] = matrix.nnz
+        return bases
+
+    def load_bitvector_image(self, matrix, prefix: str = "m") -> dict[str, int]:
+        """Place a bit-vector image: packed bitmap words + packed values.
+
+        The bit-vector firmware requires ``ncols % 32 == 0`` so rows own
+        whole bitmap words.
+        """
+        if matrix.ncols % 32:
+            raise ValueError(
+                f"bit-vector firmware needs ncols % 32 == 0, got {matrix.ncols}"
+            )
+        bases = {
+            f"{prefix}_bitmap": self.place(f"{prefix}_bitmap", matrix.bitmap_words),
+            f"{prefix}_vals": self.place(f"{prefix}_vals", matrix.vals),
+        }
+        self._symbols[f"{prefix}_num_rows"] = matrix.nrows
+        self._symbols[f"{prefix}_num_cols"] = matrix.ncols
+        return bases
+
+    def load_smash_image(self, matrix, prefix: str = "m") -> dict[str, int]:
+        """Place a two-level SMASH image (fanout 32) for the firmware."""
+        if matrix.depth != 2 or matrix.fanout != 32:
+            raise ValueError(
+                "SMASH firmware supports depth=2, fanout=32 images; got "
+                f"depth={matrix.depth}, fanout={matrix.fanout}"
+            )
+        if matrix.ncols % 32:
+            raise ValueError(
+                f"SMASH firmware needs ncols % 32 == 0, got {matrix.ncols}"
+            )
+        l0, l1 = matrix.packed_levels()
+        bases = {
+            f"{prefix}_l0": self.place(f"{prefix}_l0", l0),
+            f"{prefix}_l1": self.place(f"{prefix}_l1", l1),
+            f"{prefix}_vals": self.place(f"{prefix}_vals", matrix.vals),
+        }
+        self._symbols[f"{prefix}_num_rows"] = matrix.nrows
+        self._symbols[f"{prefix}_num_cols"] = matrix.ncols
+        return bases
+
+    def load_sparse_vector(self, sv: SparseVector, prefix: str = "sv") -> dict[str, int]:
+        """Place indices, padded values and the position map (Section 3's
+        SpMSpV metadata); returns the base addresses."""
+        bases = {
+            f"{prefix}_idx": self.place(f"{prefix}_idx", sv.indices),
+            f"{prefix}_vpad": self.place(f"{prefix}_vpad", sv.padded_values()),
+            f"{prefix}_map": self.place(f"{prefix}_map", sv.position_map()),
+        }
+        self._symbols[f"{prefix}_nnz"] = sv.nnz
+        return bases
+
+    def allocate_output(self, n: int, name: str = "y") -> int:
+        return self.allocate(name, n * 4)
+
+    @property
+    def symbols(self) -> dict[str, int]:
+        """Assembler symbol table: data segments + HHT register addresses."""
+        return dict(self._symbols)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def assemble(self, text: str, name: str = "kernel") -> Program:
+        return assemble(text, symbols=self.symbols, name=name)
+
+    def run(self, program: Program, entry: int | str | None = None) -> RunResult:
+        self.cpu.reset()
+        self.bus.mem.reset()
+        self.hht.reset_stats()
+        stats = self.cpu.run(program, entry=entry)
+        return RunResult(
+            cycles=stats.cycles,
+            instructions=stats.instructions,
+            cpu_stats=stats,
+            hht_stats=self.hht.stats_snapshot(),
+            port_requests=dict(self.port.stats.by_requester),
+            frequency_hz=self.config.cpu.frequency_hz,
+        )
+
+    def read_output(self, name: str, count: int, dtype=np.float32) -> np.ndarray:
+        seg = self.layout[name]
+        return self.ram.read_array(seg.base, count, dtype)
+
+
+#: Symbolic names for the HHT's memory-mapped registers and FIFOs.
+_MMR_SYMBOLS = {
+    "hht_base": HHT_BASE,
+    "hht_m_num_rows": HHT_BASE + MMR.M_NUM_ROWS,
+    "hht_m_rows_base": HHT_BASE + MMR.M_ROWS_BASE,
+    "hht_m_cols_base": HHT_BASE + MMR.M_COLS_BASE,
+    "hht_m_vals_base": HHT_BASE + MMR.M_VALS_BASE,
+    "hht_v_base": HHT_BASE + MMR.V_BASE,
+    "hht_v_nnz": HHT_BASE + MMR.V_NNZ,
+    "hht_v_idx_base": HHT_BASE + MMR.V_IDX_BASE,
+    "hht_v_vals_base": HHT_BASE + MMR.V_VALS_BASE,
+    "hht_v_map_base": HHT_BASE + MMR.V_MAP_BASE,
+    "hht_elem_size": HHT_BASE + MMR.ELEM_SIZE,
+    "hht_mode": HHT_BASE + MMR.MODE,
+    "hht_start": HHT_BASE + MMR.START,
+    "hht_status": HHT_BASE + MMR.STATUS,
+    "hht_m_num_cols": HHT_BASE + MMR.M_NUM_COLS,
+    "hht_aux0": HHT_BASE + MMR.AUX0,
+    "hht_aux1": HHT_BASE + MMR.AUX1,
+    "hht_aux2": HHT_BASE + MMR.AUX2,
+    "hht_aux3": HHT_BASE + MMR.AUX3,
+    "hht_vval_fifo": HHT_BASE + MMR.VVAL_FIFO,
+    "hht_mval_fifo": HHT_BASE + MMR.MVAL_FIFO,
+    "hht_count_fifo": HHT_BASE + MMR.COUNT_FIFO,
+}

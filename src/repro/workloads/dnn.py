@@ -1,0 +1,80 @@
+"""Fully-connected-layer workloads of Section 5.4.
+
+The paper runs SpMV over "the quantized weights matrix" of the final
+fully-connected (classifier) layer of seven networks.  We cannot ship the
+original quantized checkpoints, so each network is modelled by its
+*published classifier-layer shape* and a representative post-quantization
+zero fraction (the cycle counts depend only on shape and sparsity
+pattern, not on the weight values — see DESIGN.md, substitution table).
+
+The classifier computes ``y = W x`` with ``W`` of shape
+``(classes, features)``; the matrix rows are output classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+from .synthetic import random_csr, random_dense_vector
+
+
+@dataclass(frozen=True)
+class FCLayer:
+    """One network's final fully-connected layer."""
+
+    network: str
+    classes: int        # output rows
+    features: int       # input columns
+    sparsity: float     # fraction of zero weights after quantization
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.classes, self.features)
+
+    def weights(self, *, seed: int = 0, rows: int | None = None) -> CSRMatrix:
+        """Generate the layer's sparse weight matrix.
+
+        ``rows`` limits the number of output rows (a row-tile); the paper
+        itself tiles large matrices (Section 5.5), and per-row cycle
+        behaviour is homogeneous for i.i.d. sparsity.
+        """
+        nrows = self.classes if rows is None else min(rows, self.classes)
+        return random_csr((nrows, self.features), self.sparsity, seed=seed)
+
+    def activations(self, *, seed: int = 1) -> np.ndarray:
+        """A dense input-activation vector for the layer."""
+        return random_dense_vector(self.features, seed=seed)
+
+
+#: The seven networks of Fig. 9, final-classifier shapes from the original
+#: architectures (1000 ImageNet classes), with representative quantized
+#: weight sparsities (documented substitution — see DESIGN.md).
+FC_LAYERS: dict[str, FCLayer] = {
+    layer.network: layer
+    for layer in (
+        FCLayer("MobileNet", 1000, 1024, 0.45),
+        FCLayer("MobileNetV2", 1000, 1280, 0.50),
+        FCLayer("DenseNet", 1000, 1024, 0.60),
+        FCLayer("ResNet", 1000, 2048, 0.50),
+        FCLayer("ResNetV2", 1000, 2048, 0.55),
+        FCLayer("VGG16", 1000, 4096, 0.40),
+        FCLayer("VGG19", 1000, 4096, 0.35),
+    )
+}
+
+#: Display order used by the Fig. 9 harness.
+FIG9_ORDER = [
+    "MobileNet", "MobileNetV2", "DenseNet", "ResNet", "ResNetV2", "VGG16", "VGG19",
+]
+
+
+def get_layer(network: str) -> FCLayer:
+    try:
+        return FC_LAYERS[network]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {network!r}; available: {sorted(FC_LAYERS)}"
+        ) from None

@@ -1,0 +1,60 @@
+"""Graph-derived sparse matrices (for the graph-analytics example).
+
+The paper's introduction motivates SpMV with graph algorithms (PageRank-
+style label propagation, BFS, centrality).  These helpers turn networkx
+graphs into the CSR matrices the simulator consumes.  networkx is an
+optional dependency — only this module imports it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import VALUE_DTYPE
+from ..formats.csr import CSRMatrix
+
+
+def adjacency_csr(graph, *, weighted: bool = False, seed: int = 0) -> CSRMatrix:
+    """Adjacency matrix of a networkx graph as CSR (float32)."""
+    import networkx as nx  # local import: optional dependency
+
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    dense = np.zeros((n, n), dtype=VALUE_DTYPE)
+    rng = np.random.default_rng(seed)
+    for u, v in graph.edges():
+        w = np.float32(rng.uniform(0.1, 1.0)) if weighted else np.float32(1.0)
+        dense[index[u], index[v]] = w
+        if not isinstance(graph, nx.DiGraph):
+            dense[index[v], index[u]] = w
+    return CSRMatrix.from_dense(dense)
+
+
+def pagerank_matrix(graph, *, damping: float = 0.85) -> CSRMatrix:
+    """Column-stochastic PageRank iteration matrix ``d * A^T D^-1``.
+
+    One PageRank power iteration is then
+    ``r' = M r + (1 - d)/n`` — a pure SpMV, which the example offloads to
+    the HHT.
+    """
+    adj = adjacency_csr(graph).to_dense()
+    out_degree = adj.sum(axis=1)
+    n = adj.shape[0]
+    M = np.zeros_like(adj)
+    nonzero = out_degree > 0
+    M[:, nonzero] = adj.T[:, nonzero] / out_degree[nonzero]
+    M *= np.float32(damping)
+    return CSRMatrix.from_dense(M.astype(VALUE_DTYPE))
+
+
+def pagerank_reference(matrix: CSRMatrix, *, damping: float = 0.85,
+                       iterations: int = 20) -> np.ndarray:
+    """Golden PageRank result via numpy power iteration."""
+    n = matrix.nrows
+    dense = matrix.to_dense().astype(np.float64)
+    r = np.full(n, 1.0 / n)
+    teleport = (1.0 - damping) / n
+    for _ in range(iterations):
+        r = dense @ r + teleport
+    return r

@@ -1,0 +1,121 @@
+"""Synthetic sparse workload generators (Section 4, "Workloads").
+
+The paper evaluates on "synthetic matrices of different sizes and
+different sparsity levels" with sparsity = fraction of zeros.  Generators
+here are seeded and produce *exact* non-zero counts so that sweeps are
+reproducible and the sparsity axis is noise-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import INDEX_DTYPE, VALUE_DTYPE
+from ..formats.csr import CSRMatrix
+from ..formats.sparse_vector import SparseVector
+
+
+def _check_sparsity(sparsity: float) -> float:
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    return float(sparsity)
+
+
+def random_dense_matrix(
+    shape: tuple[int, int], sparsity: float, *, seed: int = 0,
+    value_range: tuple[float, float] = (0.1, 1.0),
+) -> np.ndarray:
+    """Dense float32 matrix with exactly ``round((1-sparsity)*size)`` non-zeros.
+
+    Values are drawn uniformly from *value_range* (bounded away from zero
+    so a stored value is never accidentally zero).
+    """
+    sparsity = _check_sparsity(sparsity)
+    nrows, ncols = shape
+    total = nrows * ncols
+    nnz = int(round((1.0 - sparsity) * total))
+    rng = np.random.default_rng(seed)
+    flat = np.zeros(total, dtype=VALUE_DTYPE)
+    if nnz:
+        positions = rng.choice(total, size=nnz, replace=False)
+        lo, hi = value_range
+        flat[positions] = rng.uniform(lo, hi, size=nnz).astype(VALUE_DTYPE)
+    return flat.reshape(nrows, ncols)
+
+
+def random_csr(
+    shape: tuple[int, int], sparsity: float, *, seed: int = 0,
+    value_range: tuple[float, float] = (0.1, 1.0),
+) -> CSRMatrix:
+    """Random CSR matrix at the requested sparsity (exact nnz count)."""
+    return CSRMatrix.from_dense(
+        random_dense_matrix(shape, sparsity, seed=seed, value_range=value_range)
+    )
+
+
+def random_dense_vector(
+    n: int, *, seed: int = 0, value_range: tuple[float, float] = (0.1, 1.0)
+) -> np.ndarray:
+    """Dense float32 vector with no zero entries."""
+    rng = np.random.default_rng(seed)
+    lo, hi = value_range
+    return rng.uniform(lo, hi, size=n).astype(VALUE_DTYPE)
+
+
+def random_sparse_vector(
+    n: int, sparsity: float, *, seed: int = 0,
+    value_range: tuple[float, float] = (0.1, 1.0),
+) -> SparseVector:
+    """Random sparse vector with exactly ``round((1-sparsity)*n)`` non-zeros."""
+    sparsity = _check_sparsity(sparsity)
+    nnz = int(round((1.0 - sparsity) * n))
+    rng = np.random.default_rng(seed)
+    indices = np.sort(rng.choice(n, size=nnz, replace=False)).astype(INDEX_DTYPE)
+    lo, hi = value_range
+    values = rng.uniform(lo, hi, size=nnz).astype(VALUE_DTYPE)
+    return SparseVector(n, indices, values)
+
+
+def banded_csr(
+    n: int, bandwidth: int, *, seed: int = 0,
+    value_range: tuple[float, float] = (0.1, 1.0),
+) -> CSRMatrix:
+    """Banded matrix (PDE-solver style) — structured high sparsity."""
+    if bandwidth < 0 or bandwidth >= n:
+        raise ValueError(f"bandwidth must be in [0, n), got {bandwidth}")
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((n, n), dtype=VALUE_DTYPE)
+    lo, hi = value_range
+    for offset in range(-bandwidth, bandwidth + 1):
+        diag_len = n - abs(offset)
+        vals = rng.uniform(lo, hi, size=diag_len).astype(VALUE_DTYPE)
+        if offset >= 0:
+            dense[np.arange(diag_len), np.arange(diag_len) + offset] = vals
+        else:
+            dense[np.arange(diag_len) - offset, np.arange(diag_len)] = vals
+    return CSRMatrix.from_dense(dense)
+
+
+def power_law_csr(
+    shape: tuple[int, int], avg_row_nnz: float, *, seed: int = 0, alpha: float = 1.6,
+    value_range: tuple[float, float] = (0.1, 1.0),
+) -> CSRMatrix:
+    """Skewed row-degree matrix (graph-analytics style).
+
+    Row non-zero counts follow a truncated power law with the requested
+    mean — exercising the HHT's behaviour on very uneven row lengths.
+    """
+    nrows, ncols = shape
+    rng = np.random.default_rng(seed)
+    raw = rng.pareto(alpha, size=nrows) + 1.0
+    degrees = np.minimum(
+        np.maximum((raw / raw.mean() * avg_row_nnz).round().astype(np.int64), 0),
+        ncols,
+    )
+    dense = np.zeros(shape, dtype=VALUE_DTYPE)
+    lo, hi = value_range
+    for i, d in enumerate(degrees):
+        if d:
+            cols = rng.choice(ncols, size=int(d), replace=False)
+            dense[i, cols] = rng.uniform(lo, hi, size=int(d)).astype(VALUE_DTYPE)
+    return CSRMatrix.from_dense(dense)

@@ -1,0 +1,108 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestInfo:
+    def test_prints_table1(self, capsys):
+        code, out = run_cli(capsys, "info")
+        assert code == 0
+        assert "1.1 GHz" in out
+        assert "38.9%" in out
+        assert "223 uW" in out
+
+
+class TestSpmv:
+    def test_baseline_and_hht(self, capsys):
+        code, out = run_cli(
+            capsys, "spmv", "--rows", "32", "--cols", "32", "--sparsity", "0.5"
+        )
+        assert code == 0
+        assert "baseline" in out
+        assert "ASIC HHT" in out
+        assert "x," in out or "x)" in out or "1." in out
+
+    def test_programmable_flag(self, capsys):
+        code, out = run_cli(
+            capsys, "spmv", "--rows", "16", "--cols", "32",
+            "--sparsity", "0.5", "--programmable", "coo",
+        )
+        assert code == 0
+        assert "prog HHT" in out
+        assert "coo firmware" in out
+
+    def test_scalar_width(self, capsys):
+        code, out = run_cli(
+            capsys, "spmv", "--rows", "16", "--cols", "16", "--vl", "1"
+        )
+        assert code == 0
+        assert "VL=1" in out
+
+
+class TestSpmspv:
+    def test_both_variants(self, capsys):
+        code, out = run_cli(capsys, "spmspv", "--size", "32")
+        assert code == 0
+        assert "variant-1" in out
+        assert "variant-2" in out
+
+    def test_separate_vector_sparsity(self, capsys):
+        code, out = run_cli(
+            capsys, "spmspv", "--size", "32",
+            "--sparsity", "0.5", "--vector-sparsity", "0.9",
+        )
+        assert code == 0
+        # exact-count sampling rounds 0.9 on 32 elements to 29/32 zeros
+        assert "matrix 50% / vector 9" in out
+
+
+class TestFigure:
+    def test_table1(self, capsys):
+        code, out = run_cli(capsys, "figure", "table1")
+        assert code == 0
+        assert "Table 1" in out
+
+    def test_fig4_small(self, capsys):
+        code, out = run_cli(capsys, "figure", "fig4", "--size", "48")
+        assert code == 0
+        assert "Fig. 4" in out
+        assert "Dedicated_HHT_2buffer" in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_all_figure_names_mapped(self):
+        import repro.analysis as analysis
+
+        for fn_name in FIGURES.values():
+            assert hasattr(analysis, fn_name)
+
+
+class TestReportAndCorpus:
+    def test_corpus_listing(self, capsys):
+        code, out = run_cli(capsys, "corpus")
+        assert code == 0
+        assert "rand98" in out
+        assert "sparsity" in out
+
+    def test_report_writes_files(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SIZE", "48")
+        monkeypatch.setenv("REPRO_DNN_ROWS", "8")
+        code, out = run_cli(capsys, "report", "--out", str(tmp_path), "--size", "48")
+        assert code == 0
+        assert (tmp_path / "fig4.txt").exists()
+        assert (tmp_path / "sec55.csv").exists()
+        assert len(list(tmp_path.glob("*.txt"))) == len(FIGURES)
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,94 @@
+"""Table-comparison (regression detection) tests."""
+
+import pytest
+
+from repro.analysis import Table
+from repro.analysis.compare import CompareError, compare_tables
+
+
+def make_table(values):
+    t = Table("exp", ["sparsity", "speedup", "wait"])
+    for key, speedup, wait in values:
+        t.add_row(key, speedup, wait)
+    return t
+
+
+class TestCompare:
+    def test_identical_tables_ok(self):
+        t = make_table([("10%", 1.9, 0.0), ("90%", 1.7, 0.0)])
+        cmp = compare_tables(t, t)
+        assert cmp.ok
+        assert cmp.max_relative_delta == 0.0
+
+    def test_small_drift_within_tolerance(self):
+        old = make_table([("10%", 1.90, 0.0)])
+        new = make_table([("10%", 1.93, 0.0)])
+        cmp = compare_tables(old, new, tolerance=0.05)
+        assert cmp.ok
+        assert cmp.max_relative_delta == pytest.approx(0.03 / 1.90, rel=1e-6)
+
+    def test_regression_flagged(self):
+        old = make_table([("10%", 1.90, 0.0)])
+        new = make_table([("10%", 1.20, 0.0)])
+        cmp = compare_tables(old, new, tolerance=0.05)
+        assert not cmp.ok
+        assert len(cmp.regressions) == 1
+        reg = cmp.regressions[0]
+        assert reg.column == "speedup"
+        assert reg.relative < -0.3
+
+    def test_zero_to_nonzero_is_infinite(self):
+        old = make_table([("10%", 1.9, 0.0)])
+        new = make_table([("10%", 1.9, 0.5)])
+        cmp = compare_tables(old, new)
+        assert not cmp.ok
+
+    def test_non_numeric_cells_ignored(self):
+        t1 = Table("exp", ["k", "status", "speedup"])
+        t1.add_row("a", "PASS", 1.5)
+        t2 = Table("exp", ["k", "status", "speedup"])
+        t2.add_row("a", "FAIL", 1.5)
+        cmp = compare_tables(t1, t2)
+        assert cmp.ok  # status strings are not compared
+
+    def test_percent_strings_parsed(self):
+        t1 = Table("exp", ["k", "wait"])
+        t1.add_row("a", "10%")
+        t2 = Table("exp", ["k", "wait"])
+        t2.add_row("a", "20%")
+        cmp = compare_tables(t1, t2, tolerance=0.5)
+        assert not cmp.ok
+
+    def test_structural_mismatches_rejected(self):
+        base = make_table([("10%", 1.9, 0.0)])
+        other_cols = Table("exp", ["sparsity", "cycles"])
+        other_cols.add_row("10%", 100)
+        with pytest.raises(CompareError, match="column"):
+            compare_tables(base, other_cols)
+        longer = make_table([("10%", 1.9, 0.0), ("20%", 1.9, 0.0)])
+        with pytest.raises(CompareError, match="row-count"):
+            compare_tables(base, longer)
+        renamed = make_table([("50%", 1.9, 0.0)])
+        with pytest.raises(CompareError, match="keys diverge"):
+            compare_tables(base, renamed)
+
+    def test_rendered_report(self):
+        old = make_table([("10%", 2.0, 0.0)])
+        new = make_table([("10%", 1.0, 0.0)])
+        text = compare_tables(old, new).table().render()
+        assert "REGRESSION" in text
+        assert "-50" in text
+
+    def test_round_trip_with_reportio(self, tmp_path):
+        from repro.analysis.reportio import load_table, save_table
+
+        t = make_table([("10%", 1.9, 0.01), ("90%", 1.7, 0.02)])
+        path = save_table(t, tmp_path / "t.json")
+        cmp = compare_tables(load_table(path), t)
+        assert cmp.ok
+
+    def test_real_experiment_self_compare(self):
+        from repro.analysis import fig4_spmv_speedup
+
+        t = fig4_spmv_speedup(48)
+        assert compare_tables(t, t).ok

@@ -1,0 +1,149 @@
+"""Experiment-harness tests at miniature scale.
+
+These drive every figure/table regenerator end to end on tiny inputs and
+assert the *shape* claims the paper makes.  The full-size regeneration
+lives in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as exp
+from repro.analysis import (
+    ablation_memory,
+    ext_mtx_corpus,
+    fig4_spmv_speedup,
+    fig5_spmspv_speedup,
+    fig6_spmv_wait,
+    fig7_spmspv_wait,
+    fig8_vector_width,
+    fig9_dnn_layers,
+    sec55_area_power_energy,
+    spmv_sweep,
+    table1_config,
+)
+
+SIZE = 64  # miniature sweeps for test speed
+
+
+@pytest.fixture(autouse=True)
+def _clear_memo():
+    # Keep the lru_caches from leaking large entries across test sessions.
+    yield
+
+
+class TestSweeps:
+    def test_sweep_point_fields(self):
+        points = spmv_sweep(SIZE, 8, 2)
+        assert len(points) == 9
+        for p in points:
+            assert p.baseline_cycles > p.hht_cycles > 0
+            assert 0 <= p.cpu_wait_fraction <= 1
+
+    def test_sweep_memoised(self):
+        a = spmv_sweep(SIZE, 8, 2)
+        b = spmv_sweep(SIZE, 8, 2)
+        assert a is b
+
+
+class TestFig4And6:
+    def test_speedup_above_one_everywhere(self):
+        table = fig4_spmv_speedup(SIZE)
+        for col in ("Dedicated_HHT_1buffer", "Dedicated_HHT_2buffer"):
+            assert all(s > 1.0 for s in table.column(col))
+
+    def test_two_buffers_at_least_as_good(self):
+        table = fig4_spmv_speedup(SIZE)
+        ones = table.column("Dedicated_HHT_1buffer")
+        twos = table.column("Dedicated_HHT_2buffer")
+        assert all(b >= a - 0.02 for a, b in zip(ones, twos))
+
+    def test_gains_smaller_at_higher_sparsity(self):
+        """Paper: 'the gains are smaller at higher sparsities'."""
+        speedups = fig4_spmv_speedup(SIZE).column("Dedicated_HHT_2buffer")
+        assert speedups[0] > speedups[-1]
+
+    def test_cpu_rarely_waits(self):
+        table = fig6_spmv_wait(SIZE)
+        assert all(w < 0.05 for w in table.column("HHT_2buffer"))
+
+
+class TestFig5And7:
+    def test_variant1_increases_with_sparsity(self):
+        """Paper: 'the speedup increases with sparsity' (variant-1)."""
+        col = fig5_spmspv_speedup(SIZE).column("v1_2buffer")
+        assert col[-1] > col[0]
+
+    def test_crossover_above_80_percent(self):
+        table = fig5_spmspv_speedup(SIZE)
+        v1 = table.column("v1_2buffer")
+        v2 = table.column("v2_2buffer")
+        assert v2[0] > v1[0]       # variant-2 wins at 10% sparsity
+        assert v1[-1] > v2[-1]     # variant-1 wins at 90%
+
+    def test_variant1_cpu_waits_significantly(self):
+        table = fig7_spmspv_wait(SIZE)
+        v1_waits = table.column("v1_2buffer")
+        assert max(v1_waits) > 0.3
+
+    def test_variant2_reduces_waits(self):
+        table = fig7_spmspv_wait(SIZE)
+        v1 = table.column("v1_2buffer")
+        v2 = table.column("v2_2buffer")
+        assert all(b <= a for a, b in zip(v1, v2))
+
+
+class TestFig8:
+    def test_all_widths_show_speedup(self):
+        table = fig8_vector_width(SIZE)
+        for vl in (1, 4, 8):
+            assert all(s > 1.0 for s in table.column(f"VL={vl}"))
+
+
+class TestFig9:
+    def test_all_networks_run(self):
+        table = fig9_dnn_layers(rows=16)
+        assert len(table.rows) == 7
+        assert all(s > 1.0 for s in table.column("speedup"))
+
+
+class TestSec55:
+    def test_energy_notes_mention_anchors(self):
+        table = sec55_area_power_energy(size=SIZE)
+        text = table.render()
+        assert "223" in text and "314" in text
+        assert "38.9%" in text
+
+    def test_positive_average_savings(self):
+        table = sec55_area_power_energy(size=SIZE)
+        savings = table.column("energy_savings")
+        assert sum(savings) / len(savings) > 0.1
+
+
+class TestExtensionsAndConfig:
+    def test_table1(self):
+        text = table1_config().render()
+        assert "1.1 GHz" in text
+
+    def test_corpus_experiment(self):
+        table = ext_mtx_corpus()
+        assert all(s > 1.0 for s in table.column("speedup"))
+
+    def test_ablation_grid(self):
+        table = ablation_memory(size=48)
+        assert len(table.rows) == 12  # 4 latencies x 3 buffer counts
+        assert all(s > 0.8 for s in table.column("speedup"))
+
+    def test_default_size_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIZE", "123")
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert exp.default_size() == 123
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert exp.default_size() == 512
+
+    def test_default_dnn_rows_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_DNN_ROWS", "32")
+        assert exp.default_dnn_rows() == 32
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert exp.default_dnn_rows() is None

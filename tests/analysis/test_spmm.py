@@ -1,0 +1,65 @@
+"""Batched SpMM tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_spmv
+from repro.analysis.spmm import SpmmResult, run_spmm
+from repro.workloads import random_csr, random_dense_vector
+
+
+@pytest.fixture
+def problem(rng):
+    matrix = random_csr((40, 32), 0.6, seed=700)
+    B = rng.uniform(0.1, 1.0, size=(32, 5)).astype(np.float32)
+    return matrix, B
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("hht", [False, True])
+    def test_matches_reference(self, problem, hht):
+        matrix, B = problem
+        result = run_spmm(matrix, B, hht=hht, verify=False)
+        ref = matrix.to_dense().astype(np.float64) @ B.astype(np.float64)
+        assert np.allclose(result.Y, ref, rtol=1e-4, atol=1e-5)
+
+    def test_single_column_matches_spmv(self, problem):
+        matrix, B = problem
+        spmm = run_spmm(matrix, B[:, :1], hht=True)
+        spmv = run_spmv(matrix, B[:, 0], hht=True)
+        assert np.array_equal(spmm.Y[:, 0], spmv.y)
+        assert spmm.cycles == spmv.cycles
+
+    def test_shape_validated(self, problem):
+        matrix, _ = problem
+        with pytest.raises(ValueError, match="B must be"):
+            run_spmm(matrix, np.zeros((7, 3), np.float32))
+        with pytest.raises(ValueError, match="B must be"):
+            run_spmm(matrix, np.zeros(32, np.float32))
+
+
+class TestAccounting:
+    def test_per_column_runs(self, problem):
+        matrix, B = problem
+        result = run_spmm(matrix, B, verify=False)
+        assert result.columns == 5
+        assert result.cycles == sum(r.cycles for r in result.column_results)
+        assert result.cycles_per_column == pytest.approx(result.cycles / 5)
+
+    def test_columns_cost_the_same(self, problem):
+        """The matrix is resident: every column launch costs ~the same."""
+        matrix, B = problem
+        result = run_spmm(matrix, B, verify=False)
+        cycles = [r.cycles for r in result.column_results]
+        assert max(cycles) - min(cycles) <= 0.02 * max(cycles)
+
+    def test_hht_wins_for_batches(self, problem):
+        matrix, B = problem
+        base = run_spmm(matrix, B, hht=False, verify=False)
+        hht = run_spmm(matrix, B, hht=True, verify=False)
+        assert hht.cycles < base.cycles
+
+    def test_empty_result_defaults(self):
+        r = SpmmResult()
+        assert r.cycles == 0
+        assert r.cycles_per_column == 0.0

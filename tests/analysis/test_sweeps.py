@@ -1,0 +1,68 @@
+"""Generic parameter-sweep API tests."""
+
+import pytest
+
+from repro.analysis.sweeps import hht_knob, parameter_sweep, system_knob
+
+SIZE = 48
+
+
+class TestParameterSweep:
+    def test_ram_latency_sweep(self):
+        table = parameter_sweep(
+            "ram_latency", [1, 4, 8], system_knob("ram_latency"), size=SIZE,
+        )
+        assert len(table.rows) == 3
+        speedups = table.column("speedup")
+        # Slower memory widens the HHT's advantage.
+        assert speedups[-1] > speedups[0]
+
+    def test_hht_knob_sweep(self):
+        table = parameter_sweep(
+            "buffer_elems", [2, 8], hht_knob("buffer_elems"), size=SIZE,
+        )
+        assert table.column("buffer_elems") == [2, 8]
+        assert all(s > 1.0 for s in table.column("speedup"))
+
+    def test_spmspv_workloads(self):
+        for workload in ("hht_v1", "hht_v2"):
+            table = parameter_sweep(
+                "merge_cycles_per_step", [1, 4],
+                hht_knob("merge_cycles_per_step"),
+                workload=workload, size=SIZE, sparsity=0.7,
+            )
+            assert len(table.rows) == 2
+        # Merge rate only matters for variant-1.
+        v1 = parameter_sweep(
+            "merge_cycles_per_step", [1, 4],
+            hht_knob("merge_cycles_per_step"),
+            workload="hht_v1", size=SIZE, sparsity=0.7,
+        )
+        assert v1.column("speedup")[0] > v1.column("speedup")[1]
+
+    def test_hht_only_knob_leaves_baseline_fixed(self):
+        table = parameter_sweep(
+            "fill_overhead", [0, 8], hht_knob("fill_overhead"),
+            size=SIZE, sweep_baseline=False,
+        )
+        base = table.column("baseline_cycles")
+        assert base[0] == base[1]  # baseline unchanged across the sweep
+        hht = table.column("hht_cycles")
+        assert hht[1] >= hht[0]
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            parameter_sweep("x", [1], system_knob("ram_latency"), workload="gemm")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(AttributeError):
+            parameter_sweep("x", [1], hht_knob("not_a_field"), size=SIZE)
+        with pytest.raises(AttributeError):
+            parameter_sweep("x", [1], system_knob("not_a_field"), size=SIZE)
+
+    def test_deterministic(self):
+        a = parameter_sweep("ram_latency", [2], system_knob("ram_latency"),
+                            size=SIZE)
+        b = parameter_sweep("ram_latency", [2], system_knob("ram_latency"),
+                            size=SIZE)
+        assert a.rows == b.rows

@@ -1,0 +1,55 @@
+"""Result-table rendering tests."""
+
+import pytest
+
+from repro.analysis import Table
+
+
+class TestTable:
+    def test_render_contains_title_headers_rows(self):
+        t = Table("My experiment", ["a", "b"])
+        t.add_row("x", 1.2345)
+        text = t.render()
+        assert "My experiment" in text
+        assert "a" in text and "b" in text
+        assert "1.234" in text
+
+    def test_float_formatting(self):
+        t = Table("t", ["v"])
+        t.add_row(1.23456)
+        t.add_row(1234.5678)
+        text = t.render()
+        assert "1.235" in text
+        assert "1234.6" in text
+
+    def test_row_width_checked(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row(1)
+
+    def test_notes_rendered(self):
+        t = Table("t", ["a"])
+        t.add_note("paper: 42")
+        assert "note: paper: 42" in t.render()
+
+    def test_to_csv(self):
+        t = Table("t", ["x", "y"])
+        t.add_row("s", 0.5)
+        csv = t.to_csv()
+        assert csv.splitlines()[0] == "x,y"
+        assert csv.splitlines()[1] == "s,0.500"
+
+    def test_column_access(self):
+        t = Table("t", ["x", "y"])
+        t.add_row("a", 1)
+        t.add_row("b", 2)
+        assert t.column("y") == [1, 2]
+        with pytest.raises(ValueError):
+            t.column("z")
+
+    def test_alignment_consistent(self):
+        t = Table("t", ["long_header", "y"])
+        t.add_row("v", 123456789.0)
+        lines = t.render().splitlines()
+        # header, separator and body rows share the same column layout
+        assert len(lines[1].split("  ")[0]) == len("long_header")

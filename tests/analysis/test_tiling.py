@@ -1,0 +1,82 @@
+"""Row-tiled SpMV execution tests (Section 5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_spmv
+from repro.analysis.tiling import TiledRunResult, run_spmv_tiled
+from repro.formats import CSRMatrix
+from repro.workloads import random_csr, random_dense_vector
+
+
+@pytest.fixture
+def problem():
+    matrix = random_csr((50, 40), 0.6, seed=80)
+    v = random_dense_vector(40, seed=81)
+    return matrix, v
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("tile_rows", [1, 7, 16, 50, 100])
+    def test_matches_reference(self, problem, tile_rows):
+        matrix, v = problem
+        result = run_spmv_tiled(matrix, v, tile_rows=tile_rows, verify=False)
+        ref = matrix.to_dense().astype(np.float64) @ v.astype(np.float64)
+        assert np.allclose(result.y, ref, rtol=1e-4, atol=1e-5)
+
+    def test_matches_untiled_bitwise(self, problem):
+        """One whole-matrix tile reproduces the untiled result exactly."""
+        matrix, v = problem
+        tiled = run_spmv_tiled(matrix, v, tile_rows=matrix.nrows)
+        untiled = run_spmv(matrix, v, hht=True)
+        assert np.array_equal(tiled.y, untiled.y)
+
+    def test_baseline_mode(self, problem):
+        matrix, v = problem
+        result = run_spmv_tiled(matrix, v, tile_rows=16, hht=False)
+        ref = matrix.to_dense().astype(np.float64) @ v.astype(np.float64)
+        assert np.allclose(result.y, ref, rtol=1e-4)
+
+    def test_empty_leading_rows(self):
+        dense = np.zeros((20, 16), np.float32)
+        dense[12, 3] = 5.0
+        matrix = CSRMatrix.from_dense(dense)
+        v = random_dense_vector(16, seed=82)
+        result = run_spmv_tiled(matrix, v, tile_rows=8)
+        assert result.y[12] == pytest.approx(5.0 * v[3], rel=1e-5)
+
+
+class TestAccounting:
+    def test_tile_count(self, problem):
+        matrix, v = problem
+        result = run_spmv_tiled(matrix, v, tile_rows=16, verify=False)
+        assert result.tiles == 4  # ceil(50 / 16)
+
+    def test_cycles_sum_over_tiles(self, problem):
+        matrix, v = problem
+        result = run_spmv_tiled(matrix, v, tile_rows=16, verify=False)
+        assert result.cycles == sum(r.cycles for r in result.tile_results)
+        assert result.instructions > 0
+
+    def test_smaller_tiles_cost_more(self, problem):
+        """Per-tile relaunch overhead: 16-row tiles vs one big tile."""
+        matrix, v = problem
+        small = run_spmv_tiled(matrix, v, tile_rows=5, verify=False)
+        big = run_spmv_tiled(matrix, v, tile_rows=matrix.nrows, verify=False)
+        assert small.cycles > big.cycles
+
+    def test_tiled_hht_still_beats_tiled_baseline(self, problem):
+        matrix, v = problem
+        hht = run_spmv_tiled(matrix, v, tile_rows=16, hht=True, verify=False)
+        base = run_spmv_tiled(matrix, v, tile_rows=16, hht=False, verify=False)
+        assert hht.cycles < base.cycles
+
+    def test_invalid_tile_rows(self, problem):
+        matrix, v = problem
+        with pytest.raises(ValueError):
+            run_spmv_tiled(matrix, v, tile_rows=0)
+
+    def test_empty_result_defaults(self):
+        result = TiledRunResult()
+        assert result.cycles == 0
+        assert result.cpu_wait_fraction == 0.0

@@ -1,0 +1,81 @@
+"""Execution-trace tests."""
+
+import pytest
+
+from repro.analysis.trace import render_trace, trace_program
+from repro.system import Soc, SystemConfig
+
+
+@pytest.fixture
+def soc():
+    cfg = SystemConfig.paper_table1()
+    cfg.ram_bytes = 1 << 16
+    return Soc(cfg)
+
+
+class TestTrace:
+    def test_records_every_instruction(self, soc):
+        prog = soc.assemble("li a0, 1\nli a1, 2\nadd a2, a0, a1\nhalt")
+        entries = trace_program(soc, prog)
+        assert [e.op for e in entries] == ["li", "li", "add", "halt"]
+        assert entries[0].seq == 1
+
+    def test_rd_values_captured(self, soc):
+        prog = soc.assemble("li a0, 5\nli a1, 7\nadd a2, a0, a1\nhalt")
+        entries = trace_program(soc, prog)
+        assert entries[2].rd_value == 12
+
+    def test_float_values_captured(self, soc):
+        prog = soc.assemble("""
+            li t0, 0x40400000
+            fmv.w.x fa0, t0
+            fadd.s fa1, fa0, fa0
+            halt
+        """)
+        entries = trace_program(soc, prog)
+        assert entries[2].rd_value == pytest.approx(6.0)
+
+    def test_cycle_intervals_monotonic(self, soc):
+        prog = soc.assemble("lw a0, 0x100(zero)\nmul a1, a0, a0\nhalt")
+        entries = trace_program(soc, prog)
+        for prev, cur in zip(entries, entries[1:]):
+            assert cur.cycle_start == prev.cycle_end
+        assert entries[0].cycles > 1  # the load paid memory latency
+
+    def test_limit(self, soc):
+        prog = soc.assemble("loop: addi a0, a0, 1\nj loop")
+        entries = trace_program(soc, prog, limit=25)
+        assert len(entries) == 25
+
+    def test_only_filter(self, soc):
+        prog = soc.assemble("""
+            li t0, 3
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            halt
+        """)
+        entries = trace_program(soc, prog, only={"bne"})
+        assert len(entries) == 3
+        assert all(e.op == "bne" for e in entries)
+
+    def test_render(self, soc):
+        prog = soc.assemble("li a0, 1\nhalt")
+        text = render_trace(trace_program(soc, prog))
+        assert "li a0, 1" in text
+        assert "@0" in text
+        assert "-> 0x1" in text
+
+    def test_traces_hht_kernel(self, soc):
+        """A full HHT kernel traces end to end (FIFO reads included)."""
+        from repro.kernels import spmv_hht_vector
+        from repro.workloads import random_csr, random_dense_vector
+
+        matrix = random_csr((8, 8), 0.5, seed=1)
+        soc.load_csr(matrix)
+        soc.load_dense_vector(random_dense_vector(8, seed=2))
+        soc.allocate_output(8)
+        prog = soc.assemble(spmv_hht_vector())
+        entries = trace_program(soc, prog, only={"vle32.v"})
+        # Both the vals loads and the FIFO loads appear.
+        assert len(entries) >= matrix.nrows

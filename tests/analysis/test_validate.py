@@ -1,0 +1,38 @@
+"""Reproduction self-check tests."""
+
+import pytest
+
+from repro.analysis import validate
+
+
+class TestValidate:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return validate(size=48)
+
+    def test_all_claims_pass(self, outcome):
+        table, ok = outcome
+        failing = [r for r in table.rows if r[2] != "PASS"]
+        assert ok, f"failing claims: {failing}"
+
+    def test_covers_all_figure_families(self, outcome):
+        table, _ = outcome
+        refs = set(table.column("ref"))
+        for family in ("Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Sec. 5.5"):
+            assert family in refs
+
+    def test_details_populated(self, outcome):
+        table, _ = outcome
+        assert all(row[3] for row in table.rows)
+
+    def test_claim_count(self, outcome):
+        table, _ = outcome
+        assert len(table.rows) >= 10
+
+    def test_cli_exit_code(self, capsys):
+        from repro.cli import main
+
+        code = main(["validate", "--size", "48"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALL CLAIMS PASS" in out

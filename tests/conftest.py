@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.system import Soc, SystemConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def soc():
+    """A small Table-1 system (64 KiB RAM keeps construction fast)."""
+    cfg = SystemConfig.paper_table1()
+    cfg.ram_bytes = 1 << 16
+    return Soc(cfg)
+
+
+def make_soc(*, vlmax: int = 8, n_buffers: int = 2, ram_bytes: int = 1 << 16,
+             ram_latency: int = 2) -> Soc:
+    cfg = SystemConfig.paper_table1(vlmax=vlmax, n_buffers=n_buffers)
+    cfg.ram_bytes = ram_bytes
+    cfg.ram_latency = ram_latency
+    return Soc(cfg)
+
+
+@pytest.fixture
+def soc_factory():
+    return make_soc

@@ -1,0 +1,89 @@
+"""BufferedStream tests: slot accounting, FIFO order, capacity gating."""
+
+import pytest
+
+from repro.core import BufferedStream
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        s = BufferedStream("s", n_buffers=2, buffer_elems=4)
+        s.push_group(10, [1, 2, 3])
+        assert s.pop_available() == (10, 1)
+        assert s.pop_available() == (10, 2)
+        assert s.pop_available() == (10, 3)
+        assert s.pop_available() is None
+
+    def test_push_single_element(self):
+        s = BufferedStream("s", n_buffers=2, buffer_elems=1)
+        s.push(5, 42)
+        assert s.occupied_slots == 1
+        assert s.pop_available() == (5, 42)
+        assert s.occupied_slots == 0
+
+    def test_empty_group_is_noop(self):
+        s = BufferedStream("s", n_buffers=1, buffer_elems=4)
+        s.push_group(0, [])
+        assert s.occupied_slots == 0
+        assert s.has_room
+
+
+class TestSlotAccounting:
+    def test_group_occupies_one_slot_when_small(self):
+        s = BufferedStream("s", n_buffers=2, buffer_elems=8)
+        s.push_group(0, range(8))
+        assert s.occupied_slots == 1
+
+    def test_large_group_occupies_multiple_slots(self):
+        s = BufferedStream("s", n_buffers=2, buffer_elems=4)
+        s.push_group(0, range(10))  # 4 + 4 + 2
+        assert s.occupied_slots == 3
+        assert not s.has_room  # overshoot allowed, gate closed
+
+    def test_slot_recycled_only_when_fully_drained(self):
+        s = BufferedStream("s", n_buffers=1, buffer_elems=4)
+        s.push_group(0, range(4))
+        for _ in range(3):
+            s.pop_available()
+            assert s.occupied_slots == 1
+        s.pop_available()
+        assert s.occupied_slots == 0
+        assert s.has_room
+
+    def test_partial_tail_slot(self):
+        s = BufferedStream("s", n_buffers=2, buffer_elems=4)
+        s.push_group(0, range(6))  # slots of 4 and 2
+        for _ in range(4):
+            s.pop_available()
+        assert s.occupied_slots == 1
+        s.pop_available()
+        s.pop_available()
+        assert s.occupied_slots == 0
+
+    def test_has_room_respects_n_buffers(self):
+        s = BufferedStream("s", n_buffers=2, buffer_elems=4)
+        s.push_group(0, range(4))
+        assert s.has_room
+        s.push_group(0, range(4))
+        assert not s.has_room
+
+    def test_unconsumed_counts_elements(self):
+        s = BufferedStream("s", n_buffers=4, buffer_elems=4)
+        s.push_group(0, range(3))
+        s.push_group(0, range(2))
+        assert s.unconsumed == 5
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BufferedStream("s", n_buffers=0, buffer_elems=4)
+        with pytest.raises(ValueError):
+            BufferedStream("s", n_buffers=1, buffer_elems=0)
+
+    def test_ready_times_preserved(self):
+        s = BufferedStream("s", n_buffers=3, buffer_elems=2)
+        s.push_group(7, [1])
+        s.push_group(9, [2])
+        assert s.pop_available()[0] == 7
+        assert s.pop_available()[0] == 9

@@ -1,0 +1,34 @@
+"""Helpers for CPU tests: build a machine, run a snippet, inspect state."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu import Cpu, CpuConfig
+from repro.isa import assemble
+from repro.memory import Bus, MemoryPort, Ram
+
+
+def make_machine(*, vlmax: int = 8, ram_latency: int = 2, ram_bytes: int = 1 << 16):
+    ram = Ram(ram_bytes)
+    bus = Bus(ram, MemoryPort(latency=ram_latency))
+    cpu = Cpu(bus, CpuConfig(vlmax=vlmax))
+    return cpu, ram
+
+
+def run_asm(source: str, *, setup=None, vlmax: int = 8, ram_latency: int = 2,
+            symbols=None):
+    """Assemble + run a snippet (an implicit ``halt`` is appended).
+
+    ``setup(cpu, ram)`` may preload registers/memory.  Returns the CPU.
+    """
+    cpu, ram = make_machine(vlmax=vlmax, ram_latency=ram_latency)
+    if setup:
+        setup(cpu, ram)
+    program = assemble(source + "\nhalt\n", symbols=symbols)
+    cpu.run(program)
+    return cpu
+
+
+def f32(x: float) -> float:
+    return float(np.float32(x))

@@ -1,0 +1,115 @@
+"""Scalar floating-point semantics."""
+
+import math
+
+import pytest
+
+from .helpers import run_asm
+
+
+def fregs(source, **setup_fregs):
+    def setup(cpu, ram):
+        for name, value in setup_fregs.items():
+            cpu.f[int(name[1:])] = value
+    return run_asm(source, setup=setup)
+
+
+class TestArithmetic:
+    def test_fadd(self):
+        assert fregs("fadd.s f3, f1, f2", f1=1.5, f2=2.25).f[3] == 3.75
+
+    def test_fsub(self):
+        assert fregs("fsub.s f3, f1, f2", f1=1.0, f2=0.25).f[3] == 0.75
+
+    def test_fmul(self):
+        assert fregs("fmul.s f3, f1, f2", f1=3.0, f2=-2.0).f[3] == -6.0
+
+    def test_fdiv(self):
+        assert fregs("fdiv.s f3, f1, f2", f1=7.0, f2=2.0).f[3] == 3.5
+
+    def test_fdiv_by_zero_is_inf(self):
+        assert math.isinf(fregs("fdiv.s f3, f1, f2", f1=1.0, f2=0.0).f[3])
+
+    def test_fmin_fmax(self):
+        assert fregs("fmin.s f3, f1, f2", f1=1.0, f2=2.0).f[3] == 1.0
+        assert fregs("fmax.s f3, f1, f2", f1=1.0, f2=2.0).f[3] == 2.0
+
+
+class TestFused:
+    def test_fmadd(self):
+        cpu = fregs("fmadd.s f4, f1, f2, f3", f1=2.0, f2=3.0, f3=1.0)
+        assert cpu.f[4] == 7.0
+
+    def test_fmsub(self):
+        cpu = fregs("fmsub.s f4, f1, f2, f3", f1=2.0, f2=3.0, f3=1.0)
+        assert cpu.f[4] == 5.0
+
+    def test_fnmadd(self):
+        cpu = fregs("fnmadd.s f4, f1, f2, f3", f1=2.0, f2=3.0, f3=1.0)
+        assert cpu.f[4] == -7.0
+
+    def test_fnmsub(self):
+        cpu = fregs("fnmsub.s f4, f1, f2, f3", f1=2.0, f2=3.0, f3=1.0)
+        assert cpu.f[4] == -5.0
+
+
+class TestCompare:
+    def test_feq(self):
+        assert fregs("feq.s x3, f1, f2", f1=1.0, f2=1.0).x[3] == 1
+        assert fregs("feq.s x3, f1, f2", f1=1.0, f2=2.0).x[3] == 0
+
+    def test_flt_fle(self):
+        assert fregs("flt.s x3, f1, f2", f1=1.0, f2=2.0).x[3] == 1
+        assert fregs("fle.s x3, f1, f2", f1=2.0, f2=2.0).x[3] == 1
+        assert fregs("flt.s x3, f1, f2", f1=2.0, f2=2.0).x[3] == 0
+
+
+class TestMovesAndConversions:
+    def test_fmv_w_x_bit_pattern(self):
+        def setup(cpu, ram):
+            cpu.x[1] = 0x40490FDB  # pi as float32 bits
+        cpu = run_asm("fmv.w.x f2, x1", setup=setup)
+        assert cpu.f[2] == pytest.approx(math.pi, rel=1e-6)
+
+    def test_fmv_x_w_round_trip(self):
+        def setup(cpu, ram):
+            cpu.x[1] = 0x3F800000  # 1.0f
+        cpu = run_asm("fmv.w.x f2, x1\nfmv.x.w x3, f2", setup=setup)
+        assert cpu.x[3] == 0x3F800000
+
+    def test_fmv_w_x_zero(self):
+        cpu = run_asm("fmv.w.x f2, zero")
+        assert cpu.f[2] == 0.0
+
+    def test_fcvt_s_w(self):
+        def setup(cpu, ram):
+            cpu.x[1] = -7
+        assert run_asm("fcvt.s.w f2, x1", setup=setup).f[2] == -7.0
+
+    def test_fcvt_w_s_truncates(self):
+        assert fregs("fcvt.w.s x3, f1", f1=2.9).x[3] == 2
+        assert fregs("fcvt.w.s x3, f1", f1=-2.9).x[3] == -2
+
+    def test_fcvt_s_wu(self):
+        def setup(cpu, ram):
+            cpu.x[1] = -1  # 0xFFFFFFFF unsigned
+        assert run_asm("fcvt.s.wu f2, x1", setup=setup).f[2] == float(0xFFFFFFFF)
+
+
+class TestSignInjection:
+    def test_fsgnj_via_fmv_pseudo(self):
+        assert fregs("fmv.s f3, f1", f1=-2.5).f[3] == -2.5
+
+    def test_fneg(self):
+        assert fregs("fneg.s f3, f1", f1=2.5).f[3] == -2.5
+        assert fregs("fneg.s f3, f1", f1=-2.5).f[3] == 2.5
+
+    def test_fabs(self):
+        assert fregs("fabs.s f3, f1", f1=-2.5).f[3] == 2.5
+
+    def test_fsgnj_takes_sign_of_second(self):
+        assert fregs("fsgnj.s f3, f1, f2", f1=3.0, f2=-1.0).f[3] == -3.0
+
+    def test_fsgnjx(self):
+        assert fregs("fsgnjx.s f3, f1, f2", f1=-3.0, f2=-1.0).f[3] == 3.0
+        assert fregs("fsgnjx.s f3, f1, f2", f1=3.0, f2=-1.0).f[3] == -3.0

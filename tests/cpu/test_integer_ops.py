@@ -1,0 +1,158 @@
+"""Integer ALU, shift, compare, and M-extension semantics."""
+
+import pytest
+
+from .helpers import run_asm
+
+
+def regs(source, **setup_regs):
+    def setup(cpu, ram):
+        for name, value in setup_regs.items():
+            cpu.x[int(name[1:])] = value
+    return run_asm(source, setup=setup)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert regs("add x3, x1, x2", x1=5, x2=7).x[3] == 12
+
+    def test_add_wraps_to_32_bits(self):
+        cpu = regs("add x3, x1, x2", x1=0x7FFFFFFF, x2=1)
+        assert cpu.x[3] == -0x80000000
+
+    def test_sub(self):
+        assert regs("sub x3, x1, x2", x1=5, x2=7).x[3] == -2
+
+    def test_sub_underflow_wraps(self):
+        cpu = regs("sub x3, x1, x2", x1=-0x80000000, x2=1)
+        assert cpu.x[3] == 0x7FFFFFFF
+
+    def test_addi_negative(self):
+        assert regs("addi x3, x1, -3", x1=10).x[3] == 7
+
+    def test_x0_never_written(self):
+        cpu = regs("add x0, x1, x2", x1=5, x2=5)
+        assert cpu.x[0] == 0
+
+    def test_x0_reads_as_zero(self):
+        assert regs("add x3, x0, x0").x[3] == 0
+
+
+class TestLogic:
+    def test_and_or_xor(self):
+        assert regs("and x3, x1, x2", x1=0b1100, x2=0b1010).x[3] == 0b1000
+        assert regs("or x3, x1, x2", x1=0b1100, x2=0b1010).x[3] == 0b1110
+        assert regs("xor x3, x1, x2", x1=0b1100, x2=0b1010).x[3] == 0b0110
+
+    def test_immediates(self):
+        assert regs("andi x3, x1, 0xf", x1=0xAB).x[3] == 0xB
+        assert regs("ori x3, x1, 0xf0", x1=0x0A).x[3] == 0xFA
+        assert regs("xori x3, x1, -1", x1=5).x[3] == ~5
+
+
+class TestShifts:
+    def test_sll(self):
+        assert regs("sll x3, x1, x2", x1=1, x2=4).x[3] == 16
+
+    def test_sll_uses_low_5_bits(self):
+        assert regs("sll x3, x1, x2", x1=1, x2=33).x[3] == 2
+
+    def test_srl_logical(self):
+        cpu = regs("srl x3, x1, x2", x1=-1, x2=28)
+        assert cpu.x[3] == 0xF
+
+    def test_sra_arithmetic(self):
+        assert regs("sra x3, x1, x2", x1=-16, x2=2).x[3] == -4
+
+    def test_shift_immediates(self):
+        assert regs("slli x3, x1, 3", x1=2).x[3] == 16
+        assert regs("srli x3, x1, 1", x1=-2).x[3] == 0x7FFFFFFF
+        assert regs("srai x3, x1, 1", x1=-2).x[3] == -1
+
+    def test_slli_overflow_wraps(self):
+        assert regs("slli x3, x1, 31", x1=2).x[3] == 0
+
+
+class TestCompare:
+    def test_slt_signed(self):
+        assert regs("slt x3, x1, x2", x1=-1, x2=1).x[3] == 1
+        assert regs("slt x3, x1, x2", x1=1, x2=-1).x[3] == 0
+
+    def test_sltu_unsigned(self):
+        # -1 is 0xFFFFFFFF unsigned: the largest value.
+        assert regs("sltu x3, x1, x2", x1=-1, x2=1).x[3] == 0
+        assert regs("sltu x3, x1, x2", x1=1, x2=-1).x[3] == 1
+
+    def test_slti_sltiu(self):
+        assert regs("slti x3, x1, 0", x1=-5).x[3] == 1
+        assert regs("sltiu x3, x1, 1", x1=0).x[3] == 1  # seqz idiom
+
+
+class TestUpperImmediates:
+    def test_lui(self):
+        assert regs("lui x3, 0x12345").x[3] == 0x12345000
+
+    def test_lui_sign_extension(self):
+        assert regs("lui x3, 0x80000").x[3] == -0x80000000
+
+    def test_li_large(self):
+        assert regs("li x3, 0x40000000").x[3] == 0x40000000
+
+    def test_auipc(self):
+        cpu = regs("nop\nauipc x3, 1")
+        # auipc at pc index 1 (byte 4): 4 + 0x1000
+        assert cpu.x[3] == 0x1004
+
+
+class TestMultiply:
+    def test_mul(self):
+        assert regs("mul x3, x1, x2", x1=7, x2=-3).x[3] == -21
+
+    def test_mul_wraps(self):
+        assert regs("mul x3, x1, x2", x1=0x10000, x2=0x10000).x[3] == 0
+
+    def test_mulh_signed(self):
+        cpu = regs("mulh x3, x1, x2", x1=-(2**31), x2=2)
+        assert cpu.x[3] == -1
+
+    def test_mulhu_unsigned(self):
+        cpu = regs("mulhu x3, x1, x2", x1=-1, x2=-1)
+        assert cpu.x[3] == -2  # 0xFFFFFFFE
+
+    def test_mulhsu(self):
+        cpu = regs("mulhsu x3, x1, x2", x1=-1, x2=-1)
+        assert cpu.x[3] == -1  # (-1) * 0xFFFFFFFF >> 32
+
+
+class TestDivide:
+    def test_div(self):
+        assert regs("div x3, x1, x2", x1=7, x2=2).x[3] == 3
+
+    def test_div_truncates_toward_zero(self):
+        assert regs("div x3, x1, x2", x1=-7, x2=2).x[3] == -3
+
+    def test_div_by_zero(self):
+        assert regs("div x3, x1, x2", x1=7, x2=0).x[3] == -1
+
+    def test_div_overflow(self):
+        cpu = regs("div x3, x1, x2", x1=-(2**31), x2=-1)
+        assert cpu.x[3] == -(2**31)
+
+    def test_divu(self):
+        assert regs("divu x3, x1, x2", x1=-1, x2=2).x[3] == 0x7FFFFFFF
+
+    def test_divu_by_zero(self):
+        assert regs("divu x3, x1, x2", x1=7, x2=0).x[3] == -1  # all ones
+
+    def test_rem(self):
+        assert regs("rem x3, x1, x2", x1=7, x2=2).x[3] == 1
+        assert regs("rem x3, x1, x2", x1=-7, x2=2).x[3] == -1
+
+    def test_rem_by_zero_returns_dividend(self):
+        assert regs("rem x3, x1, x2", x1=7, x2=0).x[3] == 7
+
+    def test_rem_overflow(self):
+        assert regs("rem x3, x1, x2", x1=-(2**31), x2=-1).x[3] == 0
+
+    def test_remu(self):
+        assert regs("remu x3, x1, x2", x1=7, x2=3).x[3] == 1

@@ -1,0 +1,285 @@
+"""Vector-extension semantics (SEW=32, LMUL=1)."""
+
+import numpy as np
+import pytest
+
+from .helpers import make_machine, run_asm
+from repro.isa import assemble
+
+
+def vload(cpu, reg, values, kind=np.float32):
+    arr = np.asarray(values, dtype=kind)
+    cpu.v[reg][: arr.size] = arr.view(np.uint32)
+
+
+def vread(cpu, reg, n, kind=np.float32):
+    return cpu.v[reg][:n].view(kind).copy()
+
+
+class TestVsetvli:
+    def test_requested_below_vlmax(self):
+        cpu = run_asm("li a0, 5\nvsetvli t0, a0, e32, m1")
+        assert cpu.vl == 5
+        assert cpu.x[5] == 5
+
+    def test_clamped_to_vlmax(self):
+        cpu = run_asm("li a0, 100\nvsetvli t0, a0, e32, m1")
+        assert cpu.vl == 8
+
+    def test_x0_source_sets_vlmax(self):
+        cpu = run_asm("vsetvli t0, x0, e32, m1")
+        assert cpu.vl == 8
+
+    def test_vlmax_respects_config(self):
+        cpu = run_asm("vsetvli t0, x0, e32, m1", vlmax=4)
+        assert cpu.vl == 4
+
+
+class TestVectorLoadsStores:
+    def test_vle_vse_round_trip(self):
+        cpu, ram = make_machine()
+        ram.write_array(0x200, np.arange(8, dtype=np.float32))
+        prog = assemble("""
+            vsetvli t0, x0, e32, m1
+            li a0, 0x200
+            vle32.v v1, (a0)
+            li a1, 0x300
+            vse32.v v1, (a1)
+            halt
+        """)
+        cpu.run(prog)
+        assert np.array_equal(ram.read_array(0x300, 8), np.arange(8, dtype=np.float32))
+
+    def test_partial_vl_loads_prefix(self):
+        cpu, ram = make_machine()
+        ram.write_array(0x200, np.arange(8, dtype=np.float32))
+        prog = assemble("""
+            li a0, 3
+            vsetvli t0, a0, e32, m1
+            li a1, 0x200
+            vle32.v v1, (a1)
+            halt
+        """)
+        cpu.run(prog)
+        assert vread(cpu, 1, 3).tolist() == [0.0, 1.0, 2.0]
+
+    def test_vse_partial_leaves_rest(self):
+        cpu, ram = make_machine()
+        ram.write_array(0x300, np.full(8, 9.0, np.float32))
+        vload(cpu, 2, [1.0, 2.0])
+        prog = assemble("""
+            li a0, 2
+            vsetvli t0, a0, e32, m1
+            li a1, 0x300
+            vse32.v v2, (a1)
+            halt
+        """)
+        cpu.run(prog)
+        out = ram.read_array(0x300, 3)
+        assert out.tolist() == [1.0, 2.0, 9.0]
+
+
+class TestGather:
+    def test_gather_byte_offsets(self):
+        cpu, ram = make_machine()
+        ram.write_array(0x200, np.array([10, 20, 30, 40], dtype=np.float32))
+        vload(cpu, 1, [12, 0, 4, 8], kind=np.int32)  # byte offsets
+        prog = assemble("""
+            li a0, 4
+            vsetvli t0, a0, e32, m1
+            li a1, 0x200
+            vluxei32.v v2, (a1), v1
+            halt
+        """)
+        cpu.run(prog)
+        assert vread(cpu, 2, 4).tolist() == [40.0, 10.0, 20.0, 30.0]
+
+    def test_gather_is_serialised(self):
+        """Gather must cost more than a unit-stride load of the same size."""
+        def run(src):
+            cpu, ram = make_machine()
+            ram.write_array(0x200, np.zeros(8, np.float32))
+            vload(cpu, 1, [0] * 8, kind=np.int32)
+            start_prog = assemble(src + "\nhalt")
+            cpu.run(start_prog)
+            return cpu.cycle
+
+        unit = run("vsetvli t0, x0, e32, m1\nli a1, 0x200\nvle32.v v2, (a1)")
+        gather = run("vsetvli t0, x0, e32, m1\nli a1, 0x200\nvluxei32.v v2, (a1), v1")
+        assert gather > unit * 1.5
+
+
+class TestVectorArithmetic:
+    def _binary(self, op, a, b, kind=np.float32):
+        cpu, _ = make_machine()
+        vload(cpu, 1, a, kind)
+        vload(cpu, 2, b, kind)
+        prog = assemble(f"""
+            li a0, {len(a)}
+            vsetvli t0, a0, e32, m1
+            {op} v3, v1, v2
+            halt
+        """)
+        cpu.run(prog)
+        return vread(cpu, 3, len(a), kind)
+
+    def test_vfadd(self):
+        assert self._binary("vfadd.vv", [1, 2], [3, 4]).tolist() == [4.0, 6.0]
+
+    def test_vfsub(self):
+        assert self._binary("vfsub.vv", [5, 2], [3, 4]).tolist() == [2.0, -2.0]
+
+    def test_vfmul(self):
+        assert self._binary("vfmul.vv", [2, 3], [4, 5]).tolist() == [8.0, 15.0]
+
+    def test_vadd_int(self):
+        out = self._binary("vadd.vv", [1, -2], [3, 4], np.int32)
+        assert out.tolist() == [4, 2]
+
+    def test_vmul_int(self):
+        out = self._binary("vmul.vv", [3, -4], [5, 6], np.int32)
+        assert out.tolist() == [15, -24]
+
+    def test_bitwise(self):
+        assert self._binary("vand.vv", [12], [10], np.int32).tolist() == [8]
+        assert self._binary("vor.vv", [12], [10], np.int32).tolist() == [14]
+        assert self._binary("vxor.vv", [12], [10], np.int32).tolist() == [6]
+
+    def test_vfmacc_accumulates(self):
+        cpu, _ = make_machine()
+        vload(cpu, 0, [1.0, 1.0])
+        vload(cpu, 1, [2.0, 3.0])
+        vload(cpu, 2, [10.0, 10.0])
+        prog = assemble("""
+            li a0, 2
+            vsetvli t0, a0, e32, m1
+            vfmacc.vv v0, v1, v2
+            halt
+        """)
+        cpu.run(prog)
+        assert vread(cpu, 0, 2).tolist() == [21.0, 31.0]
+
+    def test_tail_undisturbed(self):
+        """Elements beyond vl are not modified."""
+        cpu, _ = make_machine()
+        vload(cpu, 3, [9.0] * 8)
+        vload(cpu, 1, [1.0] * 8)
+        vload(cpu, 2, [1.0] * 8)
+        prog = assemble("""
+            li a0, 2
+            vsetvli t0, a0, e32, m1
+            vfadd.vv v3, v1, v2
+            halt
+        """)
+        cpu.run(prog)
+        full = vread(cpu, 3, 8)
+        assert full[:2].tolist() == [2.0, 2.0]
+        assert full[2:].tolist() == [9.0] * 6
+
+
+class TestScalarVectorOps:
+    def test_vadd_vx(self):
+        cpu, _ = make_machine()
+        vload(cpu, 1, [1, 2, 3], np.int32)
+        def setup_done(): pass
+        cpu.x[10] = 3  # vl
+        cpu.x[11] = 100
+        prog = assemble("""
+            vsetvli t0, a0, e32, m1
+            vadd.vx v2, v1, a1
+            halt
+        """)
+        cpu.run(prog)
+        assert vread(cpu, 2, 3, np.int32).tolist() == [101, 102, 103]
+
+    def test_vsll_vi(self):
+        cpu, _ = make_machine()
+        vload(cpu, 1, [1, 2, 3], np.int32)
+        cpu.x[10] = 3
+        prog = assemble("vsetvli t0, a0, e32, m1\nvsll.vi v2, v1, 2\nhalt")
+        cpu.run(prog)
+        assert vread(cpu, 2, 3, np.int32).tolist() == [4, 8, 12]
+
+    def test_vmv_v_i_and_v_x(self):
+        cpu, _ = make_machine()
+        cpu.x[10] = 4
+        cpu.x[11] = -7
+        prog = assemble("""
+            vsetvli t0, a0, e32, m1
+            vmv.v.i v1, 5
+            vmv.v.x v2, a1
+            halt
+        """)
+        cpu.run(prog)
+        assert vread(cpu, 1, 4, np.int32).tolist() == [5] * 4
+        assert vread(cpu, 2, 4, np.int32).tolist() == [-7] * 4
+
+    def test_vid(self):
+        cpu, _ = make_machine()
+        cpu.x[10] = 5
+        prog = assemble("vsetvli t0, a0, e32, m1\nvid.v v1\nhalt")
+        cpu.run(prog)
+        assert vread(cpu, 1, 5, np.int32).tolist() == [0, 1, 2, 3, 4]
+
+
+class TestReductions:
+    def test_vfredosum(self):
+        cpu, _ = make_machine()
+        vload(cpu, 1, [1.0, 2.0, 3.0, 4.0])
+        cpu.x[10] = 4
+        cpu.f[0] = 10.0
+        prog = assemble("""
+            vsetvli t0, a0, e32, m1
+            vfmv.s.f v4, ft0
+            vfredosum.vs v4, v1, v4
+            vfmv.f.s fa0, v4
+            halt
+        """)
+        cpu.run(prog)
+        assert cpu.f[10] == 20.0
+
+    def test_vredsum_int(self):
+        cpu, _ = make_machine()
+        vload(cpu, 1, [1, 2, 3], np.int32)
+        cpu.x[10] = 3
+        cpu.x[11] = 100
+        prog = assemble("""
+            vsetvli t0, a0, e32, m1
+            vmv.s.x v4, a1
+            vredsum.vs v4, v1, v4
+            halt
+        """)
+        cpu.run(prog)
+        assert vread(cpu, 4, 1, np.int32)[0] == 106
+
+    def test_vfredusum_same_value(self):
+        cpu, _ = make_machine()
+        vload(cpu, 1, [0.5, 0.25, 0.125])
+        cpu.x[10] = 3
+        cpu.f[0] = 0.0
+        prog = assemble("""
+            vsetvli t0, a0, e32, m1
+            vfmv.s.f v4, ft0
+            vfredusum.vs v4, v1, v4
+            vfmv.f.s fa0, v4
+            halt
+        """)
+        cpu.run(prog)
+        assert cpu.f[10] == pytest.approx(0.875)
+
+
+class TestMoves:
+    def test_vfmv_f_s_and_s_f(self):
+        cpu, _ = make_machine()
+        cpu.f[1] = 2.5
+        prog = assemble("vfmv.s.f v3, f1\nvfmv.f.s f2, v3\nhalt")
+        cpu.run(prog)
+        assert cpu.f[2] == 2.5
+
+    def test_vfmv_v_f_broadcast(self):
+        cpu, _ = make_machine()
+        cpu.f[1] = 1.5
+        cpu.x[10] = 4
+        prog = assemble("vsetvli t0, a0, e32, m1\nvfmv.v.f v3, f1\nhalt")
+        cpu.run(prog)
+        assert vread(cpu, 3, 4).tolist() == [1.5] * 4

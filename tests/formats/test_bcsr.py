@@ -1,0 +1,94 @@
+"""Block-CSR format tests."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BCSRMatrix, SparseFormatError
+
+
+class TestConstruction:
+    def test_round_trip_aligned(self, rng):
+        dense = rng.random((8, 8), dtype=np.float32)
+        dense[rng.random((8, 8)) < 0.6] = 0
+        m = BCSRMatrix.from_dense(dense, block_shape=(4, 4))
+        assert np.array_equal(m.to_dense(), dense)
+
+    def test_round_trip_unaligned(self, rng):
+        dense = rng.random((7, 10), dtype=np.float32)
+        dense[rng.random((7, 10)) < 0.5] = 0
+        m = BCSRMatrix.from_dense(dense, block_shape=(3, 4))
+        assert np.array_equal(m.to_dense(), dense)
+
+    def test_only_nonzero_blocks_stored(self):
+        dense = np.zeros((8, 8), np.float32)
+        dense[0, 0] = 1.0  # only block (0,0) is non-empty
+        m = BCSRMatrix.from_dense(dense, block_shape=(4, 4))
+        assert m.n_blocks == 1
+        assert m.block_cols.tolist() == [0]
+
+    def test_nnz_excludes_padding(self):
+        dense = np.zeros((4, 4), np.float32)
+        dense[0, 0] = 1.0
+        dense[1, 1] = 2.0
+        m = BCSRMatrix.from_dense(dense, block_shape=(2, 2))
+        assert m.nnz == 2
+        assert m.stored_values == 4  # one 2x2 block
+
+    def test_fill_efficiency(self):
+        dense = np.zeros((4, 4), np.float32)
+        dense[0, 0] = 1.0
+        m = BCSRMatrix.from_dense(dense, block_shape=(2, 2))
+        assert m.fill_efficiency() == pytest.approx(0.25)
+
+    def test_fill_efficiency_empty(self):
+        m = BCSRMatrix.from_dense(np.zeros((4, 4), np.float32), block_shape=(2, 2))
+        assert m.fill_efficiency() == 1.0
+
+    def test_block_grid_dimensions(self):
+        m = BCSRMatrix.from_dense(np.ones((7, 9), np.float32), block_shape=(4, 4))
+        assert m.n_block_rows == 2
+        assert m.n_block_cols == 3
+
+    def test_dense_matrix_stores_all_blocks(self):
+        m = BCSRMatrix.from_dense(np.ones((4, 4), np.float32), block_shape=(2, 2))
+        assert m.n_blocks == 4
+
+
+class TestValidation:
+    def test_invalid_block_shape(self):
+        with pytest.raises(SparseFormatError, match="positive"):
+            BCSRMatrix.from_dense(np.ones((4, 4), np.float32), block_shape=(0, 2))
+
+    def test_blocks_array_shape_checked(self):
+        with pytest.raises(SparseFormatError, match="blocks"):
+            BCSRMatrix(
+                (4, 4), (2, 2), [0, 1, 1], [0],
+                np.ones((1, 3, 3), np.float32),
+            )
+
+    def test_unsorted_block_columns(self):
+        blocks = np.ones((2, 2, 2), np.float32)
+        with pytest.raises(SparseFormatError, match="strictly increasing"):
+            BCSRMatrix((2, 8), (2, 2), [0, 2], [2, 0], blocks)
+
+    def test_nonzero_in_padding_rejected(self):
+        # 3x3 matrix in 2x2 blocks: bottom/right padding must be zero.
+        blocks = np.ones((1, 2, 2), np.float32)
+        with pytest.raises(SparseFormatError, match="padding"):
+            BCSRMatrix((3, 3), (2, 2), [0, 0, 1], [1], blocks)
+
+
+def test_storage_tradeoff(rng):
+    """BCSR stores more values but less metadata than CSR on blocky data."""
+    from repro.formats import CSRMatrix
+
+    dense = np.zeros((32, 32), np.float32)
+    dense[:4, :4] = rng.random((4, 4), dtype=np.float32) + 0.1
+    dense[16:20, 8:12] = rng.random((4, 4), dtype=np.float32) + 0.1
+    bcsr = BCSRMatrix.from_dense(dense, block_shape=(4, 4))
+    csr = CSRMatrix.from_dense(dense)
+    assert bcsr.n_blocks == 2
+    # Block metadata: 9 rowptr + 2 cols; CSR metadata: 33 rowptr + 32 cols.
+    assert (bcsr.block_rowptr.size + bcsr.block_cols.size) < (
+        csr.rows.size + csr.cols.size
+    )

@@ -1,0 +1,61 @@
+"""CSC format tests."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSCMatrix, SparseFormatError
+
+
+def sample_dense(rng, shape=(6, 8), zero_frac=0.5):
+    dense = rng.random(shape, dtype=np.float32)
+    dense[rng.random(shape) < zero_frac] = 0
+    return dense
+
+
+class TestConstruction:
+    def test_round_trip(self, rng):
+        dense = sample_dense(rng)
+        m = CSCMatrix.from_dense(dense)
+        assert np.array_equal(m.to_dense(), dense)
+
+    def test_colptr_structure(self):
+        dense = np.array([[1, 0], [2, 3]], dtype=np.float32)
+        m = CSCMatrix.from_dense(dense)
+        assert m.colptr.tolist() == [0, 2, 3]
+        assert m.row_indices.tolist() == [0, 1, 1]
+        assert m.vals.tolist() == [1.0, 2.0, 3.0]
+
+    def test_empty(self):
+        m = CSCMatrix.from_dense(np.zeros((3, 4), np.float32))
+        assert m.nnz == 0
+        assert m.colptr.tolist() == [0, 0, 0, 0, 0]
+
+    def test_col_slice(self):
+        dense = np.array([[1, 0], [2, 3]], dtype=np.float32)
+        m = CSCMatrix.from_dense(dense)
+        rows, vals = m.col_slice(0)
+        assert rows.tolist() == [0, 1]
+        assert vals.tolist() == [1.0, 2.0]
+
+
+class TestValidation:
+    def test_bad_colptr_length(self):
+        with pytest.raises(SparseFormatError, match="colptr"):
+            CSCMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_row_index_out_of_range(self):
+        with pytest.raises(SparseFormatError, match="row indices"):
+            CSCMatrix((2, 2), [0, 1, 1], [5], [1.0])
+
+    def test_unsorted_rows_in_column(self):
+        with pytest.raises(SparseFormatError, match="strictly increasing"):
+            CSCMatrix((3, 1), [0, 2], [2, 0], [1.0, 2.0])
+
+    def test_last_pointer(self):
+        with pytest.raises(SparseFormatError, match=r"colptr\[-1\]"):
+            CSCMatrix((2, 2), [0, 1, 3], [0, 1], [1.0, 2.0])
+
+
+def test_storage_bytes(rng):
+    m = CSCMatrix.from_dense(sample_dense(rng, (5, 5)))
+    assert m.storage_bytes() == (6 + 2 * m.nnz) * 4

@@ -1,0 +1,137 @@
+"""Matrix Market reader/writer tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix, MatrixMarketError, read_mtx, write_mtx
+
+
+SAMPLE = """%%MatrixMarket matrix coordinate real general
+% a comment line
+3 4 3
+1 1 5.0
+2 3 -2.5
+3 4 1e2
+"""
+
+
+class TestRead:
+    def test_basic(self):
+        m = read_mtx(SAMPLE)
+        assert m.shape == (3, 4)
+        assert m.nnz == 3
+        dense = m.to_dense()
+        assert dense[0, 0] == 5.0
+        assert dense[1, 2] == -2.5
+        assert dense[2, 3] == 100.0
+
+    def test_pattern(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        m = read_mtx(text)
+        assert m.to_dense().tolist() == [[1.0, 0.0], [0.0, 1.0]]
+
+    def test_symmetric_mirrors_entries(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n1 1 4.0\n3 1 7.0\n"
+        )
+        dense = read_mtx(text).to_dense()
+        assert dense[0, 0] == 4.0
+        assert dense[2, 0] == 7.0
+        assert dense[0, 2] == 7.0
+
+    def test_skew_symmetric(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 3.0\n"
+        )
+        dense = read_mtx(text).to_dense()
+        assert dense[1, 0] == 3.0
+        assert dense[0, 1] == -3.0
+
+    def test_integer_field(self):
+        text = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n"
+        assert read_mtx(text).to_dense()[0, 0] == 7.0
+
+    def test_dense_array_format(self):
+        text = (
+            "%%MatrixMarket matrix array real general\n"
+            "2 2\n1.0\n2.0\n3.0\n4.0\n"
+        )
+        dense = read_mtx(text).to_dense()
+        # Column-major: first column is [1, 2].
+        assert dense.tolist() == [[1.0, 3.0], [2.0, 4.0]]
+
+    def test_read_from_file_object(self):
+        m = read_mtx(io.StringIO(SAMPLE))
+        assert m.nnz == 3
+
+    def test_read_from_path(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text(SAMPLE)
+        assert read_mtx(path).nnz == 3
+
+
+class TestReadErrors:
+    def test_missing_banner(self):
+        with pytest.raises(MatrixMarketError, match="banner"):
+            read_mtx("3 3 1\n1 1 1.0\n")
+
+    def test_empty_input(self):
+        with pytest.raises(MatrixMarketError, match="empty"):
+            read_mtx("")
+
+    def test_unsupported_field(self):
+        with pytest.raises(MatrixMarketError, match="field"):
+            read_mtx("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+
+    def test_entry_count_mismatch(self):
+        with pytest.raises(MatrixMarketError, match="expected 2"):
+            read_mtx("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
+
+    def test_out_of_bounds_entry(self):
+        with pytest.raises(MatrixMarketError, match="out of bounds"):
+            read_mtx("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n")
+
+    def test_bad_size_line(self):
+        with pytest.raises(MatrixMarketError, match="size line"):
+            read_mtx("%%MatrixMarket matrix coordinate real general\nfoo bar baz\n")
+
+    def test_missing_size_line(self):
+        with pytest.raises(MatrixMarketError, match="missing size"):
+            read_mtx("%%MatrixMarket matrix coordinate real general\n% only comments\n")
+
+
+class TestWrite:
+    def test_round_trip(self, rng):
+        dense = rng.random((6, 7), dtype=np.float32)
+        dense[rng.random((6, 7)) < 0.5] = 0
+        original = COOMatrix.from_dense(dense)
+        text = write_mtx(original)
+        back = read_mtx(text)
+        assert np.allclose(back.to_dense(), dense, rtol=1e-6)
+
+    def test_write_accepts_csr(self, rng):
+        dense = rng.random((4, 4), dtype=np.float32)
+        dense[rng.random((4, 4)) < 0.5] = 0
+        text = write_mtx(CSRMatrix.from_dense(dense))
+        assert np.allclose(read_mtx(text).to_dense(), dense, rtol=1e-6)
+
+    def test_comment_embedded(self):
+        m = COOMatrix.from_triples((1, 1), [(0, 0, 1.0)])
+        text = write_mtx(m, comment="hello\nworld")
+        assert "% hello" in text
+        assert "% world" in text
+
+    def test_write_to_path(self, tmp_path, rng):
+        m = COOMatrix.from_triples((2, 2), [(0, 1, 3.0)])
+        path = tmp_path / "out.mtx"
+        write_mtx(m, path)
+        assert read_mtx(path).to_dense()[0, 1] == 3.0
+
+    def test_entries_one_indexed_and_sorted(self):
+        m = COOMatrix((2, 2), [1, 0], [0, 1], [4.0, 2.0])
+        lines = write_mtx(m).strip().splitlines()
+        assert lines[-2:] == ["1 2 2", "2 1 4"]

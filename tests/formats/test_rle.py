@@ -1,0 +1,62 @@
+"""Run-length-encoding format tests."""
+
+import numpy as np
+import pytest
+
+from repro.formats import RLEMatrix, SparseFormatError
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        dense = np.array([[0, 0, 5, 0, 7], [1, 0, 0, 0, 0]], dtype=np.float32)
+        m = RLEMatrix.from_dense(dense)
+        assert m.row_counts.tolist() == [2, 1]
+        assert m.zero_runs.tolist() == [2, 1, 0]
+        assert m.vals.tolist() == [5.0, 7.0, 1.0]
+        assert np.array_equal(m.to_dense(), dense)
+
+    def test_random_round_trip(self, rng):
+        dense = rng.random((11, 17), dtype=np.float32)
+        dense[rng.random((11, 17)) < 0.7] = 0
+        m = RLEMatrix.from_dense(dense)
+        assert np.array_equal(m.to_dense(), dense)
+
+    def test_all_zero(self):
+        m = RLEMatrix.from_dense(np.zeros((3, 3), np.float32))
+        assert m.nnz == 0
+        assert m.row_counts.tolist() == [0, 0, 0]
+
+    def test_fully_dense(self):
+        dense = np.ones((2, 3), np.float32)
+        m = RLEMatrix.from_dense(dense)
+        assert m.zero_runs.tolist() == [0] * 6
+        assert np.array_equal(m.to_dense(), dense)
+
+
+class TestValidation:
+    def test_row_counts_length(self):
+        with pytest.raises(SparseFormatError, match="row_counts"):
+            RLEMatrix((3, 3), [1, 1], [0, 0], [1.0, 2.0])
+
+    def test_runs_vals_mismatch(self):
+        with pytest.raises(SparseFormatError, match="lengths differ"):
+            RLEMatrix((1, 3), [1], [0, 0], [1.0])
+
+    def test_counts_sum(self):
+        with pytest.raises(SparseFormatError, match="sum of row_counts"):
+            RLEMatrix((2, 3), [1, 2], [0, 0], [1.0, 2.0])
+
+    def test_negative_run(self):
+        with pytest.raises(SparseFormatError, match="non-negative"):
+            RLEMatrix((1, 3), [1], [-1], [1.0])
+
+    def test_row_overflow(self):
+        # run 2 + one value lands at column 2 (ok), run 3 overflows 3 cols.
+        with pytest.raises(SparseFormatError, match="decodes to"):
+            RLEMatrix((1, 3), [1], [3], [1.0])
+
+
+def test_storage_bytes():
+    dense = np.array([[0, 1, 0, 2]], dtype=np.float32)
+    m = RLEMatrix.from_dense(dense)
+    assert m.storage_bytes() == (1 + 2 + 2) * 4

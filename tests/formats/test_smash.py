@@ -1,0 +1,98 @@
+"""Hierarchical bit-vector (SMASH-style) format tests."""
+
+import numpy as np
+import pytest
+
+from repro.formats import SMASHMatrix, SparseFormatError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    @pytest.mark.parametrize("fanout", [4, 8, 32])
+    def test_random(self, rng, depth, fanout):
+        dense = rng.random((13, 21), dtype=np.float32)
+        dense[rng.random((13, 21)) < 0.8] = 0
+        m = SMASHMatrix.from_dense(dense, fanout=fanout, depth=depth)
+        assert np.array_equal(m.to_dense(), dense)
+
+    def test_all_zero(self):
+        m = SMASHMatrix.from_dense(np.zeros((8, 8), np.float32), fanout=8, depth=2)
+        assert m.nnz == 0
+        assert not m.level_bits[0].any()
+        assert m.level_bits[1].size == 0
+
+    def test_single_element(self):
+        dense = np.zeros((8, 8), np.float32)
+        dense[3, 5] = 7.0
+        m = SMASHMatrix.from_dense(dense, fanout=8, depth=2)
+        assert m.nnz == 1
+        assert int(m.level_bits[0].sum()) == 1
+        assert m.level_bits[1].size == 8  # children of the one set bit
+        assert np.array_equal(m.to_dense(), dense)
+
+
+class TestCompression:
+    def test_sparse_metadata_smaller_than_flat_bitmap(self, rng):
+        """At very high sparsity, the hierarchy skips empty regions."""
+        from repro.formats import BitVectorMatrix
+
+        dense = np.zeros((64, 64), np.float32)
+        dense[0, :8] = 1.0  # one dense cluster
+        smash = SMASHMatrix.from_dense(dense, fanout=32, depth=2)
+        flat = BitVectorMatrix.from_dense(dense)
+        assert smash.storage_bytes() < flat.storage_bytes()
+
+    def test_packed_levels_word_aligned(self, rng):
+        dense = rng.random((10, 10), dtype=np.float32)
+        dense[rng.random((10, 10)) < 0.9] = 0
+        m = SMASHMatrix.from_dense(dense, fanout=8, depth=2)
+        for words in m.packed_levels():
+            assert words.dtype == np.uint32
+
+
+class TestValidation:
+    def test_depth_zero_rejected(self):
+        with pytest.raises(SparseFormatError, match="depth"):
+            SMASHMatrix.from_dense(np.ones((4, 4), np.float32), depth=0)
+
+    def test_fanout_too_small(self):
+        with pytest.raises(SparseFormatError, match="fanout"):
+            SMASHMatrix((4, 4), 1, [np.ones(16, bool)], np.ones(16, np.float32))
+
+    def test_child_count_must_match_parents(self):
+        top = np.array([True, False, False, False])
+        with pytest.raises(SparseFormatError, match="children"):
+            SMASHMatrix(
+                (4, 4), 4,
+                [top, np.ones(8, bool)],  # should be 4 children, not 8
+                np.ones(8, np.float32),
+            )
+
+    def test_wrong_top_level_size(self):
+        with pytest.raises(SparseFormatError, match="top level"):
+            SMASHMatrix(
+                (4, 4), 4,
+                [np.array([True]), np.ones(4, bool)],
+                np.ones(4, np.float32),
+            )
+
+    def test_all_zero_child_group_rejected(self):
+        top = np.array([True, False, False, False])
+        with pytest.raises(SparseFormatError, match="all-zero"):
+            SMASHMatrix(
+                (4, 4), 4,
+                [top, np.zeros(4, bool)],
+                np.zeros(0, np.float32),
+            )
+
+    def test_value_count_mismatch(self):
+        with pytest.raises(SparseFormatError, match="population"):
+            SMASHMatrix(
+                (2, 2), 4,
+                [np.array([True, False, False, False])],
+                np.ones(2, np.float32),
+            )
+
+    def test_no_levels_rejected(self):
+        with pytest.raises(SparseFormatError, match="at least one"):
+            SMASHMatrix((2, 2), 4, [], np.zeros(0, np.float32))

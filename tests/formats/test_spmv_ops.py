@@ -1,0 +1,92 @@
+"""Format-native SpMV reference tests: every traversal agrees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import FORMATS, SparseFormatError, convert
+from repro.formats.csr import CSRMatrix
+from repro.formats.spmv_ops import spmv_any
+from repro.workloads import random_csr, random_dense_vector
+
+FORMAT_NAMES = sorted(FORMATS)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    matrix = random_csr((23, 31), 0.6, seed=900)
+    v = random_dense_vector(31, seed=901)
+    ref = matrix.to_dense().astype(np.float64) @ v.astype(np.float64)
+    return matrix, v, ref
+
+
+class TestAllFormatsAgree:
+    @pytest.mark.parametrize("name", FORMAT_NAMES)
+    def test_native_spmv(self, problem, name):
+        matrix, v, ref = problem
+        converted = convert(matrix, name)
+        y = spmv_any(converted, v)
+        assert np.allclose(y, ref, rtol=1e-4, atol=1e-5), name
+
+    @pytest.mark.parametrize("name", FORMAT_NAMES)
+    def test_empty_matrix(self, name):
+        matrix = convert(CSRMatrix.empty((4, 5)), name)
+        y = spmv_any(matrix, np.ones(5, np.float32))
+        assert np.all(y == 0.0)
+
+    @pytest.mark.parametrize("name", FORMAT_NAMES)
+    def test_wrong_vector_length(self, problem, name):
+        matrix, _, _ = problem
+        with pytest.raises(SparseFormatError, match="vector length"):
+            spmv_any(convert(matrix, name), np.ones(7, np.float32))
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(SparseFormatError, match="no native"):
+            spmv_any(object(), np.ones(3, np.float32))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    density=st.floats(0.0, 1.0),
+    name=st.sampled_from(FORMAT_NAMES),
+)
+def test_native_spmv_property(seed, density, name):
+    """Whatever the matrix, the native traversal equals the CSR loop."""
+    rng = np.random.default_rng(seed)
+    dense = rng.uniform(0.1, 1.0, (9, 13)).astype(np.float32)
+    dense[rng.random((9, 13)) >= density] = 0.0
+    csr = CSRMatrix.from_dense(dense)
+    v = rng.uniform(0.1, 1.0, 13).astype(np.float32)
+    expected = csr.spmv(v)
+    got = spmv_any(convert(csr, name), v)
+    assert np.allclose(got, expected, rtol=1e-4, atol=1e-5)
+
+
+class TestFormatSpecificBehaviour:
+    def test_csc_skips_zero_vector_entries(self):
+        """Column-major traversal naturally skips v[j] == 0 columns."""
+        from repro.formats.spmv_ops import spmv_csc
+
+        matrix = convert(random_csr((10, 10), 0.3, seed=902), "csc")
+        v = np.zeros(10, np.float32)
+        v[3] = 2.0
+        y = spmv_csc(matrix, v)
+        expected = matrix.to_dense().astype(np.float64) @ v.astype(np.float64)
+        assert np.allclose(y, expected, rtol=1e-5)
+
+    def test_bcsr_with_padding(self):
+        """Unaligned shapes exercise the padded-block path."""
+        matrix = random_csr((11, 13), 0.5, seed=903)
+        v = random_dense_vector(13, seed=904)
+        bcsr = convert(matrix, "bcsr", block_shape=(4, 4))
+        ref = matrix.to_dense().astype(np.float64) @ v.astype(np.float64)
+        assert np.allclose(spmv_any(bcsr, v), ref, rtol=1e-4)
+
+    def test_smash_depth_three(self):
+        matrix = random_csr((12, 16), 0.9, seed=905)
+        v = random_dense_vector(16, seed=906)
+        smash = convert(matrix, "smash", fanout=4, depth=3)
+        ref = matrix.to_dense().astype(np.float64) @ v.astype(np.float64)
+        assert np.allclose(spmv_any(smash, v), ref, rtol=1e-4)

@@ -1,0 +1,159 @@
+"""RV32 encoding tests: golden words, round trips, error cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble
+from repro.isa.encoding import (
+    EncodingError,
+    decode,
+    encodable,
+    encode,
+    encode_program,
+)
+from repro.isa.instructions import Instr
+
+
+def enc(text: str, index: int = 0) -> int:
+    return encode(assemble(text).instructions[index], index)
+
+
+class TestGoldenEncodings:
+    """Words cross-checked against the RISC-V spec / standard assemblers."""
+
+    @pytest.mark.parametrize("asm,word", [
+        ("addi x1, x0, 5", 0x00500093),
+        ("addi a0, a0, -1", 0xFFF50513),
+        ("add x3, x1, x2", 0x002081B3),
+        ("sub x3, x1, x2", 0x402081B3),
+        ("and x5, x6, x7", 0x007372B3),
+        ("sll x1, x2, x3", 0x003110B3),
+        ("sra x1, x2, x3", 0x403150B3),
+        ("slli x1, x2, 4", 0x00411093),
+        ("srai x1, x2, 4", 0x40415093),
+        ("lw x5, 8(x2)", 0x00812283),
+        ("sw x5, 8(x2)", 0x00512423),
+        ("lb x1, 0(x2)", 0x00010083),
+        ("lui x1, 0x12345", 0x123450B7),
+        ("auipc x1, 1", 0x00001097),
+        ("jalr x1, 4(x2)", 0x004100E7),
+        ("mul x3, x1, x2", 0x022081B3),
+        ("divu x3, x1, x2", 0x0220D1B3),
+        ("flw f1, 4(x2)", 0x00412087),
+        ("fsw f1, 4(x2)", 0x00112227),
+        ("fadd.s f3, f1, f2", 0x002081D3),
+        ("fmul.s f3, f1, f2", 0x102081D3),
+        ("fmadd.s f4, f1, f2, f3", 0x18208243),
+        ("fmv.x.w x1, f2", 0xE00100D3),
+        ("fmv.w.x f1, x2", 0xF00100D3),
+        ("ecall", 0x00000073),
+        ("ebreak", 0x00100073),
+    ])
+    def test_word(self, asm, word):
+        assert enc(asm) == word
+
+    def test_branch_forward(self):
+        # beq x1, x2, +8 bytes (two instructions ahead)
+        prog = assemble("beq x1, x2, t\nnop\nt: nop")
+        assert encode(prog.instructions[0], 0) == 0x00208463
+
+    def test_branch_backward(self):
+        prog = assemble("t: nop\nbne x1, x2, t")
+        # offset -4 bytes from index 1
+        assert encode(prog.instructions[1], 1) == 0xFE209EE3
+
+    def test_jal(self):
+        prog = assemble("jal x1, t\nnop\nt: nop")
+        assert encode(prog.instructions[0], 0) == 0x008000EF
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("asm", [
+        "add x3, x1, x2", "sub t0, t1, t2", "xor a0, a1, a2",
+        "addi x1, x2, -2048", "sltiu x1, x2, 2047",
+        "slli x1, x2, 31", "srai x4, x5, 1",
+        "lw a0, -4(sp)", "sh a1, 100(s0)", "lbu t0, 0(t1)",
+        "lui x1, 0xFFFFF", "auipc x2, 0",
+        "jalr ra, 16(a0)",
+        "mulhsu x1, x2, x3", "rem x1, x2, x3",
+        "flw fa0, 12(a0)", "fsw fs1, -8(sp)",
+        "fdiv.s f1, f2, f3", "fmin.s f1, f2, f3",
+        "fsgnjx.s f1, f2, f3", "feq.s x1, f2, f3",
+        "fnmadd.s f4, f1, f2, f3",
+        "fcvt.w.s x1, f2", "fcvt.s.wu f1, x2",
+    ])
+    def test_decode_inverts_encode(self, asm):
+        ins = assemble(asm).instructions[0]
+        back = decode(encode(ins))
+        assert back.op == ins.op
+        for field in ("rd", "rs1", "rs2", "rs3", "imm"):
+            ours, theirs = getattr(ins, field), getattr(back, field)
+            if ours is not None and theirs is not None:
+                assert ours == theirs, field
+
+    def test_branch_target_round_trip(self):
+        prog = assemble("nop\nnop\nbeq x1, x2, t\nnop\nt: nop")
+        word = encode(prog.instructions[2], 2)
+        back = decode(word, index=2)
+        assert back.target == 4
+
+    @settings(max_examples=60, deadline=None)
+    @given(rd=st.integers(0, 31), rs1=st.integers(0, 31),
+           imm=st.integers(-2048, 2047))
+    def test_itype_round_trip_property(self, rd, rs1, imm):
+        ins = Instr(op="addi", rd=rd, rs1=rs1, imm=imm)
+        back = decode(encode(ins))
+        assert (back.rd, back.rs1, back.imm) == (rd, rs1, imm)
+
+    @settings(max_examples=60, deadline=None)
+    @given(imm=st.integers(-2048, 2047), rs1=st.integers(0, 31),
+           rs2=st.integers(0, 31))
+    def test_store_round_trip_property(self, imm, rs1, rs2):
+        ins = Instr(op="sw", rs1=rs1, rs2=rs2, imm=imm)
+        back = decode(encode(ins))
+        assert (back.rs1, back.rs2, back.imm) == (rs1, rs2, imm)
+
+
+class TestErrors:
+    def test_pseudo_li_not_encodable(self):
+        ins = assemble("li a0, 0x12345678").instructions[0]
+        with pytest.raises(EncodingError, match="pseudo"):
+            encode(ins)
+        assert not encodable(ins)
+
+    def test_vector_not_encodable(self):
+        ins = assemble("vfadd.vv v1, v2, v3").instructions[0]
+        assert not encodable(ins)
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(EncodingError, match="does not fit"):
+            encode(Instr(op="addi", rd=1, rs1=1, imm=5000))
+
+    def test_decode_garbage(self):
+        with pytest.raises(EncodingError, match="cannot decode"):
+            decode(0xFFFFFFFF)
+
+
+class TestEncodeProgram:
+    def test_all_scalar_program(self):
+        prog = assemble("""
+            addi a0, x0, 5
+        loop:
+            addi a0, a0, -1
+            bne a0, x0, loop
+            ecall
+        """)
+        words = encode_program(prog)
+        assert len(words) == 4
+        # Every word decodes back to the same mnemonic.
+        ops = [decode(w, i).op for i, w in enumerate(words)]
+        assert ops == ["addi", "addi", "bne", "ecall"]
+
+    def test_skip_unencodable(self):
+        prog = assemble("li a0, 0x100000\nadd a1, a0, a0\nhalt")
+        with pytest.raises(EncodingError):
+            encode_program(prog)
+        words = encode_program(prog, skip_unencodable=True)
+        assert words[0] == 0
+        assert words[1] != 0

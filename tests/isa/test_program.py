@@ -1,0 +1,57 @@
+"""Program container tests."""
+
+from repro.isa import assemble, instruction_class, ALL_MNEMONICS, INSTRUCTION_CLASS, SYNTAX
+
+
+SAMPLE = """
+start:
+    li a0, 5
+loop:
+    addi a0, a0, -1
+    bnez a0, loop
+    halt
+"""
+
+
+class TestProgram:
+    def test_len_and_indexing(self):
+        prog = assemble(SAMPLE)
+        assert len(prog) == 4
+        assert prog[0].op == "li"
+
+    def test_label_address(self):
+        prog = assemble(SAMPLE)
+        assert prog.label_address("start") == 0
+        assert prog.label_address("loop") == 4  # second instruction * 4
+
+    def test_entry_index(self):
+        prog = assemble(SAMPLE)
+        assert prog.entry_index() == 0
+        assert prog.entry_index("loop") == 1
+
+    def test_disassemble_contains_labels_and_ops(self):
+        text = assemble(SAMPLE).disassemble()
+        assert "start:" in text
+        assert "loop:" in text
+        assert "halt" in text
+
+    def test_static_histogram(self):
+        prog = assemble(SAMPLE)
+        hist = prog.static_histogram()
+        assert hist["li"] == 1
+        assert hist["addi"] == 1
+        assert sum(hist.values()) == 4
+
+
+class TestInstructionTable:
+    def test_every_mnemonic_has_a_class(self):
+        assert set(SYNTAX) == set(INSTRUCTION_CLASS)
+
+    def test_instruction_class_lookup(self):
+        assert instruction_class("add") == "int_alu"
+        assert instruction_class("vluxei32.v") == "vector_gather"
+        assert instruction_class("fmadd.s") == "fp_fma"
+
+    def test_all_mnemonics_frozen(self):
+        assert "add" in ALL_MNEMONICS
+        assert len(ALL_MNEMONICS) > 80

@@ -1,0 +1,67 @@
+"""Register-name parsing tests."""
+
+import pytest
+
+from repro.isa import RegisterError, parse_freg, parse_vreg, parse_xreg
+
+
+class TestXRegs:
+    def test_numeric(self):
+        assert parse_xreg("x0") == 0
+        assert parse_xreg("x31") == 31
+
+    def test_abi_names(self):
+        assert parse_xreg("zero") == 0
+        assert parse_xreg("ra") == 1
+        assert parse_xreg("sp") == 2
+        assert parse_xreg("a0") == 10
+        assert parse_xreg("a7") == 17
+        assert parse_xreg("t0") == 5
+        assert parse_xreg("t6") == 31
+        assert parse_xreg("s0") == 8
+        assert parse_xreg("fp") == 8
+        assert parse_xreg("s11") == 27
+
+    def test_case_and_whitespace(self):
+        assert parse_xreg(" A0 ") == 10
+        assert parse_xreg("X5") == 5
+
+    def test_out_of_range(self):
+        with pytest.raises(RegisterError):
+            parse_xreg("x32")
+
+    def test_not_a_register(self):
+        with pytest.raises(RegisterError):
+            parse_xreg("q3")
+        with pytest.raises(RegisterError):
+            parse_xreg("f1")  # float reg is not an x reg
+
+
+class TestFRegs:
+    def test_numeric(self):
+        assert parse_freg("f0") == 0
+        assert parse_freg("f31") == 31
+
+    def test_abi(self):
+        assert parse_freg("fa0") == 10
+        assert parse_freg("ft0") == 0
+        assert parse_freg("ft11") == 31
+        assert parse_freg("fs0") == 8
+
+    def test_invalid(self):
+        with pytest.raises(RegisterError):
+            parse_freg("a0")
+        with pytest.raises(RegisterError):
+            parse_freg("f32")
+
+
+class TestVRegs:
+    def test_numeric(self):
+        assert parse_vreg("v0") == 0
+        assert parse_vreg("v31") == 31
+
+    def test_invalid(self):
+        with pytest.raises(RegisterError):
+            parse_vreg("v32")
+        with pytest.raises(RegisterError):
+            parse_vreg("x1")

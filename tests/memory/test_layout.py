@@ -1,0 +1,88 @@
+"""Memory-layout allocator tests."""
+
+import numpy as np
+import pytest
+
+from repro.memory import MemoryAccessError, MemoryLayout, Ram
+
+
+class TestAllocation:
+    def test_sequential_non_overlapping(self):
+        layout = MemoryLayout(Ram(1024))
+        a = layout.allocate("a", 16)
+        b = layout.allocate("b", 16)
+        assert a.end <= b.base
+
+    def test_alignment(self):
+        layout = MemoryLayout(Ram(1024), align=16)
+        a = layout.allocate("a", 5)
+        b = layout.allocate("b", 4)
+        assert a.base % 16 == 0
+        assert b.base % 16 == 0
+        assert a.size_bytes == 16  # rounded up
+
+    def test_base_offset(self):
+        layout = MemoryLayout(Ram(1024), base=0x100)
+        assert layout.allocate("a", 4).base == 0x100
+
+    def test_duplicate_name_rejected(self):
+        layout = MemoryLayout(Ram(1024))
+        layout.allocate("a", 4)
+        with pytest.raises(ValueError, match="already allocated"):
+            layout.allocate("a", 4)
+
+    def test_exhaustion(self):
+        layout = MemoryLayout(Ram(64))
+        with pytest.raises(MemoryAccessError, match="exceeds"):
+            layout.allocate("big", 128)
+
+    def test_negative_size_rejected(self):
+        layout = MemoryLayout(Ram(64))
+        with pytest.raises(ValueError):
+            layout.allocate("a", -4)
+
+    def test_invalid_alignment(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(Ram(64), align=3)
+
+
+class TestPlaceArray:
+    def test_contents_written(self):
+        ram = Ram(1024)
+        layout = MemoryLayout(ram)
+        data = np.array([1.5, 2.5], dtype=np.float32)
+        seg = layout.place_array("v", data)
+        assert ram.read_f32(seg.base) == 1.5
+        assert ram.read_f32(seg.base + 4) == 2.5
+
+    def test_empty_array(self):
+        layout = MemoryLayout(Ram(64))
+        seg = layout.place_array("empty", np.zeros(0, np.int32))
+        assert seg.size_bytes == 0
+
+
+class TestLookup:
+    def test_getitem_and_contains(self):
+        layout = MemoryLayout(Ram(64))
+        layout.allocate("x", 8)
+        assert "x" in layout
+        assert layout["x"].name == "x"
+        assert "y" not in layout
+
+    def test_segments_sorted(self):
+        layout = MemoryLayout(Ram(256))
+        layout.allocate("b", 8)
+        layout.allocate("a", 8)
+        segs = layout.segments()
+        assert [s.name for s in segs] == ["b", "a"]
+        assert segs[0].base < segs[1].base
+
+    def test_accounting(self):
+        layout = MemoryLayout(Ram(256))
+        layout.allocate("a", 100)
+        assert layout.bytes_used >= 100
+        assert layout.bytes_free == 256 - layout.bytes_used
+
+    def test_segment_words(self):
+        layout = MemoryLayout(Ram(64))
+        assert layout.allocate("a", 8).words == 2

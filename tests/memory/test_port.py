@@ -1,0 +1,77 @@
+"""Pipelined memory-port timing tests."""
+
+import pytest
+
+from repro.memory import MemoryPort
+
+
+class TestSingleRequests:
+    def test_uncontended_latency(self):
+        port = MemoryPort(latency=3)
+        assert port.issue(10) == 13
+
+    def test_pipelining_one_per_cycle(self):
+        port = MemoryPort(latency=3)
+        assert port.issue(10) == 13
+        assert port.issue(10) == 14  # queued behind the first
+        assert port.issue(10) == 15
+
+    def test_idle_gap_resets_queue(self):
+        port = MemoryPort(latency=2)
+        port.issue(0)
+        assert port.issue(100) == 102
+
+    def test_queue_wait_recorded(self):
+        port = MemoryPort(latency=2)
+        port.issue(0)
+        port.issue(0)
+        assert port.stats.queue_cycles == 1
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            MemoryPort(latency=0)
+
+
+class TestBursts:
+    def test_burst_completion(self):
+        port = MemoryPort(latency=2)
+        # 4 beats issuing at cycles 5..8; last completes at 8 + 2.
+        assert port.issue_burst(5, 4) == 10
+
+    def test_burst_zero_is_noop(self):
+        port = MemoryPort(latency=2)
+        assert port.issue_burst(5, 0) == 5
+        assert port.stats.requests == 0
+
+    def test_burst_occupies_slots(self):
+        port = MemoryPort(latency=2)
+        port.issue_burst(0, 4)
+        # Next single request queues after the burst's 4 slots.
+        assert port.issue(0) == 6
+
+    def test_burst_queues_behind_prior(self):
+        port = MemoryPort(latency=2)
+        port.issue(0)
+        assert port.issue_burst(0, 2) == 4  # slots 1,2; completes 2+2
+
+
+class TestAccounting:
+    def test_requests_counted(self):
+        port = MemoryPort()
+        port.issue(0)
+        port.issue_burst(0, 5)
+        assert port.stats.requests == 6
+
+    def test_by_requester(self):
+        port = MemoryPort()
+        port.issue(0, "cpu")
+        port.issue(0, "hht")
+        port.issue_burst(0, 3, "hht")
+        assert port.stats.by_requester == {"cpu": 1, "hht": 4}
+
+    def test_reset(self):
+        port = MemoryPort()
+        port.issue(0)
+        port.reset()
+        assert port.stats.requests == 0
+        assert port.next_free_slot == 0

@@ -1,0 +1,128 @@
+"""SoC composition tests: loading, symbols, runs, result extraction."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, SparseVector
+from repro.memory import MemoryAccessError
+from repro.system import Soc, SystemConfig
+from repro.workloads import random_csr
+
+
+class TestDataPlacement:
+    def test_load_csr_places_three_arrays(self, soc):
+        matrix = random_csr((8, 8), 0.5, seed=1)
+        bases = soc.load_csr(matrix)
+        assert set(bases) == {"m_rows", "m_cols", "m_vals"}
+        got = soc.ram.read_array(bases["m_rows"], matrix.rows.size, np.int32)
+        assert np.array_equal(got, matrix.rows)
+
+    def test_symbols_include_dims(self, soc):
+        matrix = random_csr((8, 10), 0.5, seed=1)
+        soc.load_csr(matrix)
+        assert soc.symbols["m_num_rows"] == 8
+        assert soc.symbols["m_num_cols"] == 10
+
+    def test_load_dense_vector(self, soc):
+        v = np.array([1.0, 2.0], np.float32)
+        base = soc.load_dense_vector(v)
+        assert soc.ram.read_f32(base) == 1.0
+
+    def test_load_sparse_vector_places_derived_structures(self, soc):
+        sv = SparseVector(6, [1, 4], [2.0, 3.0])
+        bases = soc.load_sparse_vector(sv)
+        vpad = soc.ram.read_array(bases["sv_vpad"], 3)
+        assert vpad.tolist() == [0.0, 2.0, 3.0]
+        posmap = soc.ram.read_array(bases["sv_map"], 6, np.int32)
+        assert posmap.tolist() == [0, 1, 0, 0, 2, 0]
+        assert soc.symbols["sv_nnz"] == 2
+
+    def test_hht_symbols_present(self, soc):
+        for name in ("hht_start", "hht_vval_fifo", "hht_m_rows_base"):
+            assert name in soc.symbols
+
+    def test_segments_do_not_overlap(self, soc):
+        soc.load_csr(random_csr((8, 8), 0.5, seed=1))
+        soc.load_dense_vector(np.ones(8, np.float32))
+        segs = soc.layout.segments()
+        for a, b in zip(segs, segs[1:]):
+            assert a.end <= b.base
+
+    def test_ram_exhaustion_reports_helpfully(self):
+        cfg = SystemConfig.paper_table1()
+        cfg.ram_bytes = 1 << 12
+        soc = Soc(cfg)
+        with pytest.raises(MemoryAccessError, match="ram_bytes"):
+            soc.load_csr(random_csr((64, 64), 0.0, seed=1))
+
+
+class TestRun:
+    def test_run_returns_result(self, soc):
+        prog = soc.assemble("li a0, 1\nhalt")
+        result = soc.run(prog)
+        assert result.cycles > 0
+        assert result.instructions == 2
+        assert result.frequency_hz == pytest.approx(1.1e9)
+
+    def test_seconds_derived_from_frequency(self, soc):
+        result = soc.run(soc.assemble("halt"))
+        assert result.seconds == pytest.approx(result.cycles / 1.1e9)
+
+    def test_rerun_resets_counters(self, soc):
+        prog = soc.assemble("li a0, 1\nhalt")
+        first = soc.run(prog)
+        second = soc.run(prog)
+        assert first.cycles == second.cycles
+        assert first.instructions == second.instructions
+
+    def test_read_output(self, soc):
+        soc.allocate_output(4)
+        prog = soc.assemble("""
+            la a0, y
+            li a1, 0x40400000   # 3.0f
+            sw a1, 4(a0)
+            halt
+        """)
+        soc.run(prog)
+        y = soc.read_output("y", 4)
+        assert y[1] == 3.0
+
+    def test_wait_fraction_zero_without_hht_use(self, soc):
+        result = soc.run(soc.assemble("halt"))
+        assert result.cpu_wait_fraction == 0.0
+        assert result.hht_wait_cycles == 0
+
+    def test_port_requests_tracked(self, soc):
+        prog = soc.assemble("lw a0, 0x100(zero)\nhalt")
+        result = soc.run(prog)
+        assert result.port_requests.get("cpu", 0) == 1
+
+
+class TestSystemConfig:
+    def test_table1_describe_mentions_key_facts(self):
+        text = SystemConfig.paper_table1().describe()
+        assert "1.1 GHz" in text
+        assert "Vector width (VL) = 8" in text
+        assert "N=2 Buffers" in text
+        assert "32B" in text
+        assert "1MB" in text
+
+    def test_invalid_ram(self):
+        with pytest.raises(ValueError):
+            SystemConfig(ram_bytes=10)
+        with pytest.raises(ValueError):
+            SystemConfig(ram_latency=0)
+
+    def test_scalar_config_keeps_32_byte_buffer(self):
+        cfg = SystemConfig.paper_table1(vlmax=1)
+        assert cfg.hht.buffer_elems == 8
+
+    def test_vector_config_matches_width(self):
+        cfg = SystemConfig.paper_table1(vlmax=4)
+        assert cfg.hht.buffer_elems == 4
+        assert cfg.cpu.vlmax == 4
+
+    def test_kb_rendering(self):
+        cfg = SystemConfig.paper_table1()
+        cfg.ram_bytes = 1 << 16
+        assert "64KB" in cfg.describe()

@@ -1,0 +1,105 @@
+"""Convolution-as-SpMV substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.conv import (
+    conv2d_output_shape,
+    conv2d_reference,
+    conv2d_toeplitz,
+    sparse_random_kernel,
+)
+
+
+class TestOutputShape:
+    def test_basic(self):
+        assert conv2d_output_shape((8, 8), (3, 3)) == (6, 6)
+
+    def test_padding_same(self):
+        assert conv2d_output_shape((8, 8), (3, 3), padding=1) == (8, 8)
+
+    def test_stride(self):
+        assert conv2d_output_shape((8, 8), (3, 3), stride=2, padding=1) == (4, 4)
+
+    def test_kernel_too_big(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            conv2d_output_shape((2, 2), (3, 3))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            conv2d_output_shape((8, 8), (3, 3), stride=0)
+        with pytest.raises(ValueError):
+            conv2d_output_shape((8, 8), (3, 3), padding=-1)
+
+
+class TestToeplitz:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_matches_reference(self, rng, stride, padding):
+        image = rng.random((9, 11), dtype=np.float32)
+        kernel = rng.random((3, 3), dtype=np.float32)
+        T = conv2d_toeplitz(kernel, image.shape, stride=stride, padding=padding)
+        oh, ow = conv2d_output_shape(image.shape, kernel.shape,
+                                     stride=stride, padding=padding)
+        got = (T.to_dense().astype(np.float64) @ image.ravel()).reshape(oh, ow)
+        ref = conv2d_reference(image, kernel, stride=stride, padding=padding)
+        assert np.allclose(got, ref, rtol=1e-4)
+
+    def test_valid_csr(self, rng):
+        kernel = rng.random((5, 5), dtype=np.float32)
+        T = conv2d_toeplitz(kernel, (12, 12), padding=2)
+        T.validate()
+
+    def test_interior_rows_have_all_taps(self):
+        kernel = np.ones((3, 3), np.float32)
+        T = conv2d_toeplitz(kernel, (8, 8))
+        # Without padding every window is interior: 9 taps per row.
+        assert all(T.row_nnz(i) == 9 for i in range(T.nrows))
+
+    def test_border_rows_clipped_with_padding(self):
+        kernel = np.ones((3, 3), np.float32)
+        T = conv2d_toeplitz(kernel, (8, 8), padding=1)
+        assert T.row_nnz(0) == 4  # corner window: 2x2 in range
+
+    def test_zero_taps_excluded(self):
+        kernel = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], np.float32)
+        T = conv2d_toeplitz(kernel, (8, 8))
+        assert all(T.row_nnz(i) == 4 for i in range(T.nrows))
+
+    def test_operator_is_very_sparse(self, rng):
+        kernel = rng.random((3, 3), dtype=np.float32)
+        T = conv2d_toeplitz(kernel, (16, 16))
+        assert T.sparsity > 0.95
+
+    def test_1x1_kernel_is_identity_like(self):
+        kernel = np.array([[2.0]], np.float32)
+        T = conv2d_toeplitz(kernel, (4, 4))
+        assert np.array_equal(T.to_dense(), 2.0 * np.eye(16, dtype=np.float32))
+
+    def test_non_2d_kernel_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            conv2d_toeplitz(np.ones(3, np.float32), (4, 4))
+
+
+class TestSparseKernel:
+    def test_requested_sparsity(self):
+        k = sparse_random_kernel((5, 5), 0.6, seed=1)
+        assert int((k == 0).sum()) == 15
+
+    def test_deterministic(self):
+        a = sparse_random_kernel((3, 3), 0.4, seed=2)
+        b = sparse_random_kernel((3, 3), 0.4, seed=2)
+        assert np.array_equal(a, b)
+
+
+class TestOnSimulator:
+    def test_convolution_via_hht(self, rng):
+        from repro.analysis import run_spmv
+
+        image = rng.random((10, 10), dtype=np.float32)
+        kernel = sparse_random_kernel((3, 3), 0.4, seed=3)
+        T = conv2d_toeplitz(kernel, image.shape, padding=1)
+        base = run_spmv(T, image.ravel(), hht=False)
+        hht = run_spmv(T, image.ravel(), hht=True)
+        ref = conv2d_reference(image, kernel, padding=1).ravel()
+        assert np.allclose(hht.y, ref, rtol=1e-3, atol=1e-4)
+        assert hht.cycles < base.cycles

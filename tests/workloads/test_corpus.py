@@ -1,0 +1,67 @@
+"""Bundled .mtx corpus tests (Texas A&M stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    CORPUS_NAMES,
+    generate_corpus_matrix,
+    load_corpus,
+    load_corpus_matrix,
+    write_corpus,
+)
+
+
+class TestGeneration:
+    def test_all_matrices_above_90_percent_sparse(self):
+        """The paper notes the Texas A&M matrices are > 90% sparse."""
+        for name in CORPUS_NAMES:
+            m = generate_corpus_matrix(name)
+            assert m.sparsity > 0.9, name
+
+    def test_deterministic(self):
+        a = generate_corpus_matrix("rand98")
+        b = generate_corpus_matrix("rand98")
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_structural_diversity(self):
+        band = generate_corpus_matrix("band5").to_dense()
+        assert band[0, 10] == 0  # banded: nothing far off-diagonal
+        diag = generate_corpus_matrix("diagdom").to_dense()
+        assert np.all(np.diag(diag) == 2.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown corpus"):
+            generate_corpus_matrix("nope")
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        paths = write_corpus(tmp_path, n=50)
+        assert len(paths) == len(CORPUS_NAMES)
+        for path in paths:
+            assert path.exists()
+            assert path.suffix == ".mtx"
+
+    def test_load_matches_generation(self, tmp_path):
+        from repro.formats import read_mtx
+        from repro.formats.convert import coo_to_csr
+
+        write_corpus(tmp_path, n=60)
+        for name in CORPUS_NAMES:
+            loaded = coo_to_csr(read_mtx(tmp_path / f"{name}.mtx"))
+            generated = generate_corpus_matrix(name, n=60)
+            assert np.allclose(
+                loaded.to_dense(), generated.to_dense(), rtol=1e-6
+            ), name
+
+    def test_bundled_corpus_loads(self):
+        matrices = load_corpus()
+        assert set(matrices) == set(CORPUS_NAMES)
+        for name, m in matrices.items():
+            m.validate()
+            assert m.sparsity > 0.9
+
+    def test_single_matrix_load(self):
+        m = load_corpus_matrix("band5")
+        assert m.shape == (200, 200)

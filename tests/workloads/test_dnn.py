@@ -1,0 +1,55 @@
+"""DNN FC-layer workload tests (Fig. 9 inputs)."""
+
+import pytest
+
+from repro.workloads import FC_LAYERS, FIG9_ORDER, get_layer
+
+
+class TestCatalogue:
+    def test_all_seven_networks_present(self):
+        assert set(FIG9_ORDER) == set(FC_LAYERS)
+        assert len(FC_LAYERS) == 7
+
+    def test_classifier_shapes(self):
+        """Published final-FC shapes (1000 ImageNet classes)."""
+        assert get_layer("MobileNet").shape == (1000, 1024)
+        assert get_layer("MobileNetV2").shape == (1000, 1280)
+        assert get_layer("ResNet").shape == (1000, 2048)
+        assert get_layer("VGG16").shape == (1000, 4096)
+        assert get_layer("VGG19").shape == (1000, 4096)
+
+    def test_sparsities_in_plausible_band(self):
+        for layer in FC_LAYERS.values():
+            assert 0.2 <= layer.sparsity <= 0.8
+
+    def test_unknown_network(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            get_layer("AlexNet")
+
+
+class TestGeneration:
+    def test_weights_shape_and_sparsity(self):
+        layer = get_layer("MobileNet")
+        w = layer.weights(seed=1)
+        assert w.shape == layer.shape
+        assert w.sparsity == pytest.approx(layer.sparsity, abs=0.01)
+
+    def test_row_tiling(self):
+        layer = get_layer("VGG19")
+        w = layer.weights(seed=1, rows=64)
+        assert w.shape == (64, 4096)
+
+    def test_tile_larger_than_layer_clamped(self):
+        layer = get_layer("MobileNet")
+        assert layer.weights(seed=1, rows=5000).nrows == 1000
+
+    def test_activations_match_features(self):
+        layer = get_layer("ResNet")
+        assert layer.activations().size == 2048
+
+    def test_deterministic(self):
+        layer = get_layer("DenseNet")
+        import numpy as np
+        a = layer.weights(seed=3, rows=16)
+        b = layer.weights(seed=3, rows=16)
+        assert np.array_equal(a.to_dense(), b.to_dense())

@@ -1,0 +1,59 @@
+"""Graph-workload tests (networkx-backed)."""
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.workloads.graphs import adjacency_csr, pagerank_matrix, pagerank_reference
+
+
+@pytest.fixture
+def small_graph():
+    return networkx.erdos_renyi_graph(20, 0.2, seed=42)
+
+
+class TestAdjacency:
+    def test_symmetric_for_undirected(self, small_graph):
+        dense = adjacency_csr(small_graph).to_dense()
+        assert np.array_equal(dense, dense.T)
+
+    def test_edge_count(self, small_graph):
+        m = adjacency_csr(small_graph)
+        assert m.nnz == 2 * small_graph.number_of_edges()
+
+    def test_directed_graph_not_mirrored(self):
+        g = networkx.DiGraph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        dense = adjacency_csr(g).to_dense()
+        assert dense[0, 1] == 1.0
+        assert dense[1, 0] == 0.0
+
+    def test_weighted(self, small_graph):
+        m = adjacency_csr(small_graph, weighted=True, seed=1)
+        assert np.all(m.vals >= 0.1)
+        assert np.all(m.vals <= 1.0)
+
+
+class TestPageRank:
+    def test_matrix_column_stochastic_scaled(self, small_graph):
+        m = pagerank_matrix(small_graph, damping=0.85).to_dense()
+        col_sums = m.sum(axis=0)
+        # Columns of nodes with outgoing edges sum to the damping factor.
+        degrees = np.array([small_graph.degree(i) for i in small_graph.nodes()])
+        for j, d in enumerate(degrees):
+            if d > 0:
+                assert col_sums[j] == pytest.approx(0.85, abs=1e-4)
+
+    def test_reference_converges_to_distribution(self, small_graph):
+        m = pagerank_matrix(small_graph)
+        r = pagerank_reference(m, iterations=50)
+        assert r.sum() == pytest.approx(1.0, abs=0.05)
+        assert np.all(r > 0)
+
+    def test_reference_stable_under_extra_iterations(self, small_graph):
+        m = pagerank_matrix(small_graph)
+        r1 = pagerank_reference(m, iterations=40)
+        r2 = pagerank_reference(m, iterations=80)
+        assert np.allclose(r1, r2, atol=1e-6)

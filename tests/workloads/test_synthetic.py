@@ -1,0 +1,91 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    banded_csr,
+    power_law_csr,
+    random_csr,
+    random_dense_matrix,
+    random_dense_vector,
+    random_sparse_vector,
+)
+
+
+class TestRandomMatrix:
+    def test_exact_nnz_count(self):
+        m = random_csr((50, 40), 0.7, seed=1)
+        assert m.nnz == round(0.3 * 50 * 40)
+
+    @pytest.mark.parametrize("sparsity", [0.0, 0.1, 0.5, 0.9, 1.0])
+    def test_sparsity_levels(self, sparsity):
+        m = random_csr((30, 30), sparsity, seed=2)
+        assert m.sparsity == pytest.approx(sparsity, abs=1e-3)
+
+    def test_deterministic_by_seed(self):
+        a = random_csr((20, 20), 0.5, seed=7)
+        b = random_csr((20, 20), 0.5, seed=7)
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_different_seeds_differ(self):
+        a = random_csr((20, 20), 0.5, seed=7)
+        b = random_csr((20, 20), 0.5, seed=8)
+        assert not np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_values_bounded_away_from_zero(self):
+        m = random_csr((20, 20), 0.5, seed=9)
+        assert m.vals.min() >= 0.1
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            random_dense_matrix((4, 4), 1.5)
+        with pytest.raises(ValueError):
+            random_dense_matrix((4, 4), -0.1)
+
+
+class TestVectors:
+    def test_dense_vector_has_no_zeros(self):
+        v = random_dense_vector(100, seed=3)
+        assert np.all(v != 0)
+        assert v.dtype == np.float32
+
+    def test_sparse_vector_exact_nnz(self):
+        sv = random_sparse_vector(100, 0.8, seed=4)
+        assert sv.nnz == 20
+        sv.validate()
+
+    def test_sparse_vector_full_sparsity(self):
+        assert random_sparse_vector(50, 1.0, seed=5).nnz == 0
+
+    def test_sparse_vector_deterministic(self):
+        a = random_sparse_vector(60, 0.5, seed=6)
+        b = random_sparse_vector(60, 0.5, seed=6)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.values, b.values)
+
+
+class TestStructuredMatrices:
+    def test_banded_structure(self):
+        m = banded_csr(20, 2, seed=7)
+        dense = m.to_dense()
+        for i in range(20):
+            for j in range(20):
+                if abs(i - j) > 2:
+                    assert dense[i, j] == 0
+                else:
+                    assert dense[i, j] != 0
+
+    def test_banded_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            banded_csr(10, 10)
+
+    def test_power_law_degrees_skewed(self):
+        m = power_law_csr((200, 200), avg_row_nnz=5.0, seed=8)
+        degrees = np.diff(m.rows)
+        assert degrees.max() > 3 * degrees.mean()  # heavy tail
+
+    def test_power_law_respects_ncols(self):
+        m = power_law_csr((50, 10), avg_row_nnz=8.0, seed=9)
+        assert np.diff(m.rows).max() <= 10
+        m.validate()
