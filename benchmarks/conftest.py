@@ -25,7 +25,7 @@ def record_table():
     def _record(table, name: str):
         text = table.render()
         print("\n" + text)
-        RESULTS_DIR.mkdir(exist_ok=True)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text)
         (RESULTS_DIR / f"{name}.csv").write_text(table.to_csv())
         return table

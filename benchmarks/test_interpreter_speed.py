@@ -1,0 +1,42 @@
+"""I1 — interpreter dispatch-loop throughput (simulated instructions/s).
+
+Not a paper figure: this guards the simulator's own speed, which bounds
+every sweep in the suite.  The benchmark executes a fixed baseline SpMV
+program repeatedly through :meth:`Soc.run` and reports host-side
+instructions per second, archiving the number so regressions in the
+dispatch loop (:mod:`repro.cpu.core`) are visible across runs.
+"""
+
+from repro.analysis.tables import Table
+from repro.kernels.spmv import spmv_kernel
+from repro.system.soc import Soc
+from repro.workloads.synthetic import random_csr, random_dense_vector
+
+
+def _spmv_setup(size: int = 64, sparsity: float = 0.5):
+    matrix = random_csr((size, size), sparsity, seed=11)
+    v = random_dense_vector(size, seed=12)
+    soc = Soc()
+    soc.load_csr(matrix)
+    soc.load_dense_vector(v)
+    soc.allocate_output(matrix.nrows)
+    program = soc.assemble(spmv_kernel(hht=False, vector=True))
+    return soc, program
+
+
+def test_interpreter_dispatch_speed(benchmark, record_table):
+    soc, program = _spmv_setup()
+    result = benchmark(soc.run, program)
+
+    mean_seconds = benchmark.stats.stats.mean
+    ips = result.instructions / mean_seconds
+    table = Table(
+        "interpreter dispatch throughput (64x64 SpMV baseline, VL=8)",
+        ["instructions", "mean_seconds", "instructions_per_second"],
+    )
+    table.add_row(result.instructions, mean_seconds, ips)
+    record_table(table, "interpreter_speed")
+
+    # Loose floor: even a slow CI box manages two orders of magnitude
+    # more; this only catches catastrophic dispatch-loop regressions.
+    assert ips > 20_000

@@ -8,6 +8,13 @@ Figures 4/6 (and 5/7) are different projections of the same simulation
 sweep, so the sweeps are memoised: running the full benchmark suite
 simulates each configuration once.
 
+Every measurement is expressed as a :class:`repro.exec.RunSpec` and
+executed through the parallel sweep engine (:func:`repro.exec.run_specs`)
+— independent points fan out across worker processes (``--jobs`` /
+``REPRO_JOBS``), and the content-addressed cache under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) serves repeated points
+without re-simulating them.
+
 Sizing: the paper sweeps a 512 x 512 matrix.  The default here is 256
 (quarter the work, same shapes — verified by tests); set ``REPRO_FULL=1``
 for the paper's exact size or ``REPRO_SIZE=n`` for anything else.
@@ -19,18 +26,20 @@ import os
 from dataclasses import dataclass
 from functools import lru_cache
 
+from ..exec import (
+    corpus_spec,
+    dnn_spec,
+    programmable_spec,
+    run_specs,
+    spmspv_spec,
+    spmv_spec,
+)
 from ..power.area import area_ratio_vs_ibex, hht_area, ibex_area_um2
 from ..power.energy import energy_comparison
 from ..power.power import system_power
 from ..system.config import SystemConfig
 from ..workloads.dnn import FC_LAYERS, FIG9_ORDER
 from ..workloads.mtx_corpus import CORPUS_NAMES, load_corpus_matrix
-from ..workloads.synthetic import (
-    random_csr,
-    random_dense_vector,
-    random_sparse_vector,
-)
-from .runners import run_spmspv, run_spmv, run_spmv_programmable
 from .tables import Table
 
 #: The paper's sparsity sweep: 10 % to 90 % zeroes.
@@ -75,26 +84,44 @@ class SweepPoint:
         return self.cpu_wait_cycles / self.hht_cycles if self.hht_cycles else 0.0
 
 
+def _sweep_points(
+    base_specs: list, hht_specs: list, sparsities: tuple[float, ...]
+) -> tuple[SweepPoint, ...]:
+    """Run a baseline/HHT spec pair per sparsity through the engine.
+
+    Both series go to :func:`repro.exec.run_specs` as ONE batch, so the
+    whole sweep parallelises and shared points (e.g. the baselines the
+    1-buffer and 2-buffer sweeps have in common) simulate only once.
+    """
+    summaries = run_specs(base_specs + hht_specs)
+    base, hht = summaries[: len(base_specs)], summaries[len(base_specs):]
+    return tuple(
+        SweepPoint(
+            sparsity=s,
+            baseline_cycles=b.cycles,
+            hht_cycles=h.cycles,
+            cpu_wait_cycles=h.cpu_wait_cycles,
+            hht_wait_cycles=h.hht_wait_cycles,
+        )
+        for s, b, h in zip(sparsities, base, hht)
+    )
+
+
 @lru_cache(maxsize=None)
 def spmv_sweep(size: int, vlmax: int, n_buffers: int,
                sparsities: tuple[float, ...] = SPARSITIES) -> tuple[SweepPoint, ...]:
     """Baseline-vs-HHT SpMV cycles across the sparsity sweep."""
-    points = []
-    for i, s in enumerate(sparsities):
-        matrix = random_csr((size, size), s, seed=_SEED + i)
-        v = random_dense_vector(size, seed=_SEED + 100 + i)
-        base = run_spmv(matrix, v, hht=False, vlmax=vlmax)
-        hht = run_spmv(matrix, v, hht=True, vlmax=vlmax, n_buffers=n_buffers)
-        points.append(
-            SweepPoint(
-                sparsity=s,
-                baseline_cycles=base.cycles,
-                hht_cycles=hht.cycles,
-                cpu_wait_cycles=hht.result.cpu_wait_cycles,
-                hht_wait_cycles=hht.result.hht_wait_cycles,
-            )
-        )
-    return tuple(points)
+    base = [
+        spmv_spec((size, size), s, hht=False, vlmax=vlmax,
+                  matrix_seed=_SEED + i, vector_seed=_SEED + 100 + i)
+        for i, s in enumerate(sparsities)
+    ]
+    hht = [
+        spmv_spec((size, size), s, hht=True, vlmax=vlmax, n_buffers=n_buffers,
+                  matrix_seed=_SEED + i, vector_seed=_SEED + 100 + i)
+        for i, s in enumerate(sparsities)
+    ]
+    return _sweep_points(base, hht, sparsities)
 
 
 @lru_cache(maxsize=None)
@@ -106,22 +133,17 @@ def spmspv_sweep(size: int, variant: str, n_buffers: int,
     paper ("randomly generated matrices and vectors with varying degrees
     of sparsities").
     """
-    points = []
-    for i, s in enumerate(sparsities):
-        matrix = random_csr((size, size), s, seed=_SEED + i)
-        sv = random_sparse_vector(size, s, seed=_SEED + 200 + i)
-        base = run_spmspv(matrix, sv, mode="baseline")
-        hht = run_spmspv(matrix, sv, mode=variant, n_buffers=n_buffers)
-        points.append(
-            SweepPoint(
-                sparsity=s,
-                baseline_cycles=base.cycles,
-                hht_cycles=hht.cycles,
-                cpu_wait_cycles=hht.result.cpu_wait_cycles,
-                hht_wait_cycles=hht.result.hht_wait_cycles,
-            )
-        )
-    return tuple(points)
+    base = [
+        spmspv_spec(size, s, mode="baseline",
+                    matrix_seed=_SEED + i, vector_seed=_SEED + 200 + i)
+        for i, s in enumerate(sparsities)
+    ]
+    hht = [
+        spmspv_spec(size, s, mode=variant, n_buffers=n_buffers,
+                    matrix_seed=_SEED + i, vector_seed=_SEED + 200 + i)
+        for i, s in enumerate(sparsities)
+    ]
+    return _sweep_points(base, hht, sparsities)
 
 
 # ---------------------------------------------------------------------------
@@ -257,22 +279,25 @@ def fig9_dnn_layers(rows: int | None = "default") -> Table:
         "Fig. 9: HHT speedup on DNN fully-connected layers",
         ["network", "shape", "sparsity", "baseline_cycles", "hht_cycles", "speedup"],
     )
-    speedups = {}
+    specs = []
+    for i, name in enumerate(FIG9_ORDER):
+        for hht in (False, True):
+            specs.append(
+                dnn_spec(name, hht=hht, rows=rows,
+                         matrix_seed=_SEED + i, vector_seed=_SEED + 50 + i)
+            )
+    summaries = run_specs(specs)
     for i, name in enumerate(FIG9_ORDER):
         layer = FC_LAYERS[name]
-        matrix = layer.weights(seed=_SEED + i, rows=rows)
-        v = layer.activations(seed=_SEED + 50 + i)
-        base = run_spmv(matrix, v, hht=False)
-        hht = run_spmv(matrix, v, hht=True)
-        speedup = base.cycles / hht.cycles
-        speedups[name] = speedup
+        base, hht = summaries[2 * i], summaries[2 * i + 1]
+        nrows = layer.classes if rows is None else min(rows, layer.classes)
         table.add_row(
             name,
-            f"{matrix.nrows}x{matrix.ncols}",
+            f"{nrows}x{layer.features}",
             f"{layer.sparsity:.0%}",
             base.cycles,
             hht.cycles,
-            speedup,
+            base.cycles / hht.cycles,
         )
     if rows is not None:
         table.add_note(f"row-tiled to {rows} output rows (REPRO_FULL=1 for all 1000)")
@@ -341,11 +366,14 @@ def ext_mtx_corpus() -> Table:
         "Extension: HHT on the bundled .mtx corpus (>90% sparse)",
         ["matrix", "shape", "sparsity", "baseline_cycles", "hht_cycles", "speedup"],
     )
+    specs = []
     for name in CORPUS_NAMES:
+        for hht in (False, True):
+            specs.append(corpus_spec(name, hht=hht, vector_seed=_SEED))
+    summaries = run_specs(specs)
+    for i, name in enumerate(CORPUS_NAMES):
         matrix = load_corpus_matrix(name)
-        v = random_dense_vector(matrix.ncols, seed=_SEED)
-        base = run_spmv(matrix, v, hht=False)
-        hht = run_spmv(matrix, v, hht=True)
+        base, hht = summaries[2 * i], summaries[2 * i + 1]
         table.add_row(
             name,
             f"{matrix.nrows}x{matrix.ncols}",
@@ -370,10 +398,19 @@ def ext_programmable_hht(size: int = 96, sparsity: float = 0.7) -> Table:
     """
     from ..power.area import area_ratio_vs_ibex, programmable_area_ratio_vs_ibex
 
-    matrix = random_csr((size, size), sparsity, seed=_SEED + 500)
-    v = random_dense_vector(size, seed=_SEED + 501)
-    base = run_spmv(matrix, v, hht=False)
-    asic = run_spmv(matrix, v, hht=True)
+    formats = ("csr", "coo", "bitvector", "smash")
+    specs = [
+        spmv_spec((size, size), sparsity, hht=False,
+                  matrix_seed=_SEED + 500, vector_seed=_SEED + 501),
+        spmv_spec((size, size), sparsity, hht=True,
+                  matrix_seed=_SEED + 500, vector_seed=_SEED + 501),
+    ] + [
+        programmable_spec((size, size), sparsity, format_name=fmt,
+                          matrix_seed=_SEED + 500, vector_seed=_SEED + 501)
+        for fmt in formats
+    ]
+    summaries = run_specs(specs)
+    base, asic = summaries[0], summaries[1]
 
     table = Table(
         f"Extension: programmable HHT vs ASIC ({size}x{size}, "
@@ -384,13 +421,12 @@ def ext_programmable_hht(size: int = 96, sparsity: float = 0.7) -> Table:
     table.add_row("cpu-only", "csr", base.cycles, 1.0, 0.0)
     table.add_row(
         "asic-hht", "csr", asic.cycles, base.cycles / asic.cycles,
-        asic.result.cpu_wait_fraction,
+        asic.cpu_wait_fraction,
     )
-    for fmt in ("csr", "coo", "bitvector", "smash"):
-        run = run_spmv_programmable(matrix, v, format_name=fmt)
+    for fmt, run in zip(formats, summaries[2:]):
         table.add_row(
             "prog-hht", fmt, run.cycles, base.cycles / run.cycles,
-            run.result.cpu_wait_fraction,
+            run.cpu_wait_fraction,
         )
     table.add_note(
         "flexibility costs throughput: the scalar helper core cannot feed "
@@ -415,7 +451,23 @@ def ext_cached_system(size: int = 128, *, ram_latency: int = 8) -> Table:
     the cache.
     """
     from ..memory.cache import CacheConfig
-    from ..system.soc import Soc
+
+    def config(cached: bool) -> SystemConfig:
+        cfg = SystemConfig.paper_table1()
+        cfg.ram_latency = ram_latency
+        if cached:
+            cfg.cache = CacheConfig(line_bytes=32, n_sets=64, assoc=2)
+        return cfg
+
+    sparsities = (0.1, 0.5, 0.9)
+    specs = [
+        spmv_spec((size, size), s, hht=hht, config=config(cached),
+                  matrix_seed=_SEED + 600 + i, vector_seed=_SEED + 610 + i)
+        for i, s in enumerate(sparsities)
+        for cached in (False, True)
+        for hht in (False, True)
+    ]
+    summaries = run_specs(specs)
 
     table = Table(
         f"Extension: L1D-cached integration ({size}x{size}, "
@@ -423,36 +475,15 @@ def ext_cached_system(size: int = 128, *, ram_latency: int = 8) -> Table:
         ["sparsity", "uncached_speedup", "cached_speedup",
          "baseline_hit_rate", "hht_hit_rate"],
     )
-    for i, s in enumerate((0.1, 0.5, 0.9)):
-        matrix = random_csr((size, size), s, seed=_SEED + 600 + i)
-        v = random_dense_vector(size, seed=_SEED + 610 + i)
-
-        def run(hht: bool, cached: bool):
-            cfg = SystemConfig.paper_table1()
-            cfg.ram_latency = ram_latency
-            if cached:
-                cfg.cache = CacheConfig(line_bytes=32, n_sets=64, assoc=2)
-            soc = Soc(cfg)
-            soc.load_csr(matrix)
-            soc.load_dense_vector(v)
-            soc.allocate_output(matrix.nrows)
-            from ..kernels.spmv import spmv_kernel
-
-            result = soc.run(soc.assemble(spmv_kernel(hht=hht, vector=True)))
-            hit_rate = soc.cache.stats.hit_rate if soc.cache else 0.0
-            by_req = soc.cache.stats.by_requester if soc.cache else {}
-            return result, hit_rate, by_req
-
-        ub, _, _ = run(hht=False, cached=False)
-        uh, _, _ = run(hht=True, cached=False)
-        cb, base_hr, _ = run(hht=False, cached=True)
-        ch, _, by_req = run(hht=True, cached=True)
-        hht_hits = by_req.get("hht", [0, 0])
-        hht_hr = (
-            hht_hits[0] / (hht_hits[0] + hht_hits[1])
-            if sum(hht_hits)
-            else 0.0
+    for i, s in enumerate(sparsities):
+        ub, uh, cb, ch = summaries[4 * i: 4 * i + 4]
+        cb_stats = cb.cache_stats or {}
+        accesses = cb_stats.get("hits", 0) + cb_stats.get("misses", 0)
+        base_hr = cb_stats.get("hits", 0) / accesses if accesses else 0.0
+        hht_hits = (ch.cache_stats or {}).get("by_requester", {}).get(
+            "hht", [0, 0]
         )
+        hht_hr = hht_hits[0] / sum(hht_hits) if sum(hht_hits) else 0.0
         table.add_row(
             f"{s:.0%}", ub.cycles / uh.cycles, cb.cycles / ch.cycles,
             base_hr, hht_hr,
@@ -467,26 +498,35 @@ def ext_cached_system(size: int = 128, *, ram_latency: int = 8) -> Table:
 
 def ablation_memory(size: int = 128) -> Table:
     """Ablation: RAM latency x buffer count on SpMV speedup (50% sparse)."""
+    def config(latency: int, n_buffers: int) -> SystemConfig:
+        cfg = SystemConfig.paper_table1(vlmax=8, n_buffers=n_buffers)
+        cfg.ram_latency = latency
+        return cfg
+
+    grid = [
+        (latency, n_buffers)
+        for latency in (1, 2, 4, 8)
+        for n_buffers in (1, 2, 4)
+    ]
+    specs = [
+        spmv_spec((size, size), 0.5, hht=hht,
+                  config=config(latency, n_buffers),
+                  matrix_seed=_SEED, vector_seed=_SEED + 1)
+        for latency, n_buffers in grid
+        for hht in (False, True)
+    ]
+    summaries = run_specs(specs)
+
     table = Table(
         f"Ablation: RAM latency x buffers ({size}x{size}, 50% sparse, VL=8)",
         ["ram_latency", "n_buffers", "speedup", "cpu_wait_fraction"],
     )
-    matrix = random_csr((size, size), 0.5, seed=_SEED)
-    v = random_dense_vector(size, seed=_SEED + 1)
-    for latency in (1, 2, 4, 8):
-        for n_buffers in (1, 2, 4):
-            cfg_base = SystemConfig.paper_table1(vlmax=8, n_buffers=n_buffers)
-            cfg_base.ram_latency = latency
-            cfg_hht = SystemConfig.paper_table1(vlmax=8, n_buffers=n_buffers)
-            cfg_hht.ram_latency = latency
-            base = run_spmv(matrix, v, hht=False, config=cfg_base)
-            hht = run_spmv(
-                matrix, v, hht=True, n_buffers=n_buffers, config=cfg_hht
-            )
-            table.add_row(
-                latency,
-                n_buffers,
-                base.cycles / hht.cycles,
-                hht.result.cpu_wait_fraction,
-            )
+    for k, (latency, n_buffers) in enumerate(grid):
+        base, hht = summaries[2 * k], summaries[2 * k + 1]
+        table.add_row(
+            latency,
+            n_buffers,
+            base.cycles / hht.cycles,
+            hht.cpu_wait_fraction,
+        )
     return table

@@ -35,6 +35,7 @@ def run_result_to_dict(result: RunResult) -> dict[str, Any]:
         "class_counts": dict(stats.class_counts),
         "class_cycles": dict(stats.class_cycles),
         "taken_branches": stats.taken_branches,
+        "cache_stats": result.cache_stats,
     }
 
 

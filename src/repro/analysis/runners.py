@@ -41,8 +41,10 @@ def _make_soc(
 ) -> Soc:
     if config is None:
         config = SystemConfig.paper_table1(vlmax=vlmax, n_buffers=n_buffers)
-        if ram_bytes is not None:
-            config.ram_bytes = ram_bytes
+    if ram_bytes is not None and ram_bytes > config.ram_bytes:
+        # Grow-only: the operands must fit, whether the caller supplied
+        # the config or not.  RAM capacity never affects timing.
+        config.ram_bytes = ram_bytes
     return Soc(config)
 
 

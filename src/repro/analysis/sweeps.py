@@ -19,15 +19,10 @@ Example::
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
+from ..exec import run_specs, spmspv_spec, spmv_spec
 from ..system.config import SystemConfig
-from ..workloads.synthetic import (
-    random_csr,
-    random_dense_vector,
-    random_sparse_vector,
-)
-from .runners import run_spmspv, run_spmv
 from .tables import Table
 
 ConfigEdit = Callable[[SystemConfig, object], None]
@@ -63,23 +58,32 @@ def parameter_sweep(
         raise ValueError(
             f"workload must be 'spmv', 'hht_v1' or 'hht_v2', got {workload!r}"
         )
-    matrix = random_csr((size, size), sparsity, seed=seed)
-    v = random_dense_vector(size, seed=seed + 1)
-    sv = random_sparse_vector(size, sparsity, seed=seed + 2)
-
-    def run_pair(value):
+    def pair_specs(value):
         cfg_base = _fresh_config(vlmax, n_buffers)
         cfg_hht = _fresh_config(vlmax, n_buffers)
         apply(cfg_hht, value)
         if sweep_baseline:
             apply(cfg_base, value)
         if workload == "spmv":
-            base = run_spmv(matrix, v, hht=False, config=cfg_base)
-            hht = run_spmv(matrix, v, hht=True, config=cfg_hht)
-        else:
-            base = run_spmspv(matrix, sv, mode="baseline", config=cfg_base)
-            hht = run_spmspv(matrix, sv, mode=workload, config=cfg_hht)
-        return base, hht
+            return (
+                spmv_spec((size, size), sparsity, hht=False,
+                          matrix_seed=seed, vector_seed=seed + 1,
+                          config=cfg_base),
+                spmv_spec((size, size), sparsity, hht=True,
+                          matrix_seed=seed, vector_seed=seed + 1,
+                          config=cfg_hht),
+            )
+        return (
+            spmspv_spec(size, sparsity, mode="baseline",
+                        matrix_seed=seed, vector_seed=seed + 2,
+                        config=cfg_base),
+            spmspv_spec(size, sparsity, mode=workload,
+                        matrix_seed=seed, vector_seed=seed + 2,
+                        config=cfg_hht),
+        )
+
+    specs = [spec for value in values for spec in pair_specs(value)]
+    summaries = run_specs(specs)
 
     table = Table(
         f"sweep of {name} ({workload}, {size}x{size}, "
@@ -87,15 +91,15 @@ def parameter_sweep(
         [name, "baseline_cycles", "hht_cycles", "speedup",
          "cpu_wait_fraction", "hht_wait_cycles"],
     )
-    for value in values:
-        base, hht = run_pair(value)
+    for k, value in enumerate(values):
+        base, hht = summaries[2 * k], summaries[2 * k + 1]
         table.add_row(
             value,
             base.cycles,
             hht.cycles,
             base.cycles / hht.cycles,
-            hht.result.cpu_wait_fraction,
-            hht.result.hht_wait_cycles,
+            hht.cpu_wait_fraction,
+            hht.hht_wait_cycles,
         )
     return table
 

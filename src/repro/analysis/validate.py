@@ -27,24 +27,22 @@ class Claim:
 
 
 def _spmv_claims(size: int):
-    from ..workloads.synthetic import random_csr, random_dense_vector
-    from .runners import run_spmv
-
-    def measured():
-        out = {}
-        for s in (0.1, 0.9):
-            m = random_csr((size, size), s, seed=1)
-            v = random_dense_vector(size, seed=2)
-            base = run_spmv(m, v, hht=False)
-            hht = run_spmv(m, v, hht=True)
-            out[s] = (base.cycles / hht.cycles, hht.result.cpu_wait_fraction)
-        return out
+    from ..exec import run_specs, spmv_spec
 
     cache: dict = {}
 
     def get():
         if not cache:
-            cache.update(measured())
+            sparsities = (0.1, 0.9)
+            summaries = run_specs([
+                spmv_spec((size, size), s, hht=hht,
+                          matrix_seed=1, vector_seed=2)
+                for s in sparsities
+                for hht in (False, True)
+            ])
+            for k, s in enumerate(sparsities):
+                base, hht = summaries[2 * k], summaries[2 * k + 1]
+                cache[s] = (base.cycles / hht.cycles, hht.cpu_wait_fraction)
         return cache
 
     def speedup_band():
@@ -71,23 +69,24 @@ def _spmv_claims(size: int):
 
 
 def _spmspv_claims(size: int):
-    from ..workloads.synthetic import random_csr, random_sparse_vector
-    from .runners import run_spmspv
+    from ..exec import run_specs, spmspv_spec
 
     cache: dict = {}
 
     def get():
         if not cache:
-            for s in (0.1, 0.9):
-                m = random_csr((size, size), s, seed=3)
-                sv = random_sparse_vector(size, s, seed=4)
-                base = run_spmspv(m, sv, mode="baseline")
-                v1 = run_spmspv(m, sv, mode="hht_v1")
-                v2 = run_spmspv(m, sv, mode="hht_v2")
+            sparsities = (0.1, 0.9)
+            summaries = run_specs([
+                spmspv_spec(size, s, mode=mode, matrix_seed=3, vector_seed=4)
+                for s in sparsities
+                for mode in ("baseline", "hht_v1", "hht_v2")
+            ])
+            for k, s in enumerate(sparsities):
+                base, v1, v2 = summaries[3 * k: 3 * k + 3]
                 cache[s] = {
                     "v1": base.cycles / v1.cycles,
                     "v2": base.cycles / v2.cycles,
-                    "v1_wait": v1.result.cpu_wait_fraction,
+                    "v1_wait": v1.cpu_wait_fraction,
                 }
         return cache
 
@@ -147,25 +146,23 @@ def _static_claims():
 def _correctness_claims(size: int):
     import numpy as np
 
-    from ..workloads.synthetic import random_csr, random_dense_vector
-    from .runners import run_spmv, run_spmv_programmable
+    from ..exec import programmable_spec, run_specs, spmv_spec
 
     def kernels_agree():
-        m = random_csr((size, size), 0.5, seed=5)
-        v = random_dense_vector(size, seed=6)
-        base = run_spmv(m, v, hht=False)
-        hht = run_spmv(m, v, hht=True)
+        base, hht = run_specs([
+            spmv_spec((size, size), 0.5, hht=hht, matrix_seed=5, vector_seed=6)
+            for hht in (False, True)
+        ])
         ok = np.array_equal(base.y, hht.y)
         return ok, "baseline and HHT results bit-identical"
 
     def firmware_agrees():
-        m = random_csr((32, 32), 0.5, seed=7)
-        v = random_dense_vector(32, seed=8)
-        runs = [
-            run_spmv_programmable(m, v, format_name=f).y
+        runs = run_specs([
+            programmable_spec((32, 32), 0.5, format_name=f,
+                              matrix_seed=7, vector_seed=8)
             for f in ("csr", "coo", "bitvector", "smash")
-        ]
-        ok = all(np.array_equal(runs[0], r) for r in runs[1:])
+        ])
+        ok = all(np.array_equal(runs[0].y, r.y) for r in runs[1:])
         return ok, "4 firmwares, identical results"
 
     return [

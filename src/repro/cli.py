@@ -34,6 +34,20 @@ FIGURES = {
 }
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """--jobs / --no-cache for every command that runs sweeps."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the sweep engine "
+             "(default: $REPRO_JOBS, else the CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache "
+             "($REPRO_CACHE_DIR, default ~/.cache/repro)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,11 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("which", choices=sorted(FIGURES))
     figure.add_argument("--size", type=int, default=None,
                         help="sweep matrix dimension (default 256; paper 512)")
+    _add_engine_args(figure)
 
     report = sub.add_parser("report", help="regenerate every artifact")
     report.add_argument("--out", type=Path, default=None,
                         help="directory to write .txt/.csv tables into")
     report.add_argument("--size", type=int, default=None)
+    _add_engine_args(report)
 
     corpus = sub.add_parser("corpus", help="bundled .mtx corpus")
     corpus.add_argument("--rebuild", action="store_true")
@@ -83,6 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate", help="fast self-check of every paper claim"
     )
     val.add_argument("--size", type=int, default=64)
+    _add_engine_args(val)
 
     return parser
 
@@ -212,10 +229,26 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    uses_engine = hasattr(args, "jobs")
+    if uses_engine:
+        from .exec import configure, reset_session_stats
+
+        configure(
+            jobs=args.jobs,
+            use_cache=False if args.no_cache else None,
+        )
+        reset_session_stats()  # the throughput line is per invocation
     try:
-        return _COMMANDS[args.command](args)
+        status = _COMMANDS[args.command](args)
     except BrokenPipeError:  # e.g. `repro-hht corpus | head`
         return 0
+    if uses_engine:
+        from .exec import session_stats
+
+        stats = session_stats()
+        if stats.total:
+            print(stats.throughput_line())
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,7 +10,7 @@ FIFO load addresses the CPU streams data from.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 class HHTMode(enum.IntEnum):
@@ -101,6 +101,13 @@ class HHTConfig:
             raise ValueError("merge_cycles_per_step must be >= 1")
         if self.seq_words_per_slot < 1:
             raise ValueError("seq_words_per_slot must be >= 1")
+
+    def to_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "HHTConfig":
+        return cls(**{k: int(v) for k, v in data.items()})
 
     @property
     def buffer_bytes(self) -> int:

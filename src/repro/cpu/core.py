@@ -92,6 +92,11 @@ class Cpu:
         self.cycle = 0
         self.halted = False
         self.stats = CpuStats()
+        # Hot-path aliases: _charge bumps these on every instruction, so
+        # skip the stats-object indirection (and merge_class's dict.get
+        # pair) in the dispatch loop.
+        self._class_counts = self.stats.class_counts
+        self._class_cycles = self.stats.class_cycles
 
     # ------------------------------------------------------------------
     # Execution loop
@@ -198,7 +203,13 @@ class Cpu:
     # ------------------------------------------------------------------
     def _charge(self, klass: str, cycles: int) -> None:
         self.cycle += cycles
-        self.stats.merge_class(klass, cycles)
+        counts = self._class_counts
+        if klass in counts:
+            counts[klass] += 1
+            self._class_cycles[klass] += cycles
+        else:
+            counts[klass] = 1
+            self._class_cycles[klass] = cycles
 
     # ------------------------------------------------------------------
     # Integer ALU

@@ -46,6 +46,13 @@ class LatencyTable:
     def copy(self) -> "LatencyTable":
         return LatencyTable(**vars(self))
 
+    def to_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "LatencyTable":
+        return cls(**{k: int(v) for k, v in data.items()})
+
 
 @dataclass
 class CpuConfig:
@@ -61,3 +68,17 @@ class CpuConfig:
             raise ValueError(f"vlmax must be in [1, 64], got {self.vlmax}")
         if self.frequency_hz <= 0:
             raise ValueError(f"frequency must be positive, got {self.frequency_hz}")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "vlmax": self.vlmax,
+            "frequency_hz": self.frequency_hz,
+            "max_instructions": self.max_instructions,
+            "latencies": self.latencies.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "CpuConfig":
+        fields_ = dict(data)
+        latencies = LatencyTable.from_dict(fields_.pop("latencies", {}))
+        return cls(latencies=latencies, **fields_)

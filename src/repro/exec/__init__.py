@@ -1,0 +1,70 @@
+"""Parallel sweep engine with a content-addressed run cache.
+
+The experiment harness expresses every simulation as a picklable
+:class:`RunSpec`; :func:`run_specs` deduplicates a batch, serves
+already-simulated points from the persistent cache and fans the rest
+out across worker processes.  See :mod:`repro.exec.spec`,
+:mod:`repro.exec.cache` and :mod:`repro.exec.engine`.
+"""
+
+from .cache import (
+    ENV_CACHE_DIR,
+    ENV_NO_CACHE,
+    NullCache,
+    ResultCache,
+    cache_key,
+    code_version,
+    default_cache_dir,
+)
+from .engine import (
+    ENV_JOBS,
+    ExecStats,
+    caching_enabled,
+    configure,
+    open_cache,
+    reset_session_stats,
+    resolve_jobs,
+    run_specs,
+    session_stats,
+)
+from .spec import (
+    RunSpec,
+    RunSummary,
+    corpus_spec,
+    dnn_spec,
+    execute,
+    freeze_config,
+    programmable_spec,
+    spmspv_spec,
+    spmv_spec,
+    thaw_config,
+)
+
+__all__ = [
+    "ENV_CACHE_DIR",
+    "ENV_JOBS",
+    "ENV_NO_CACHE",
+    "ExecStats",
+    "NullCache",
+    "ResultCache",
+    "RunSpec",
+    "RunSummary",
+    "cache_key",
+    "caching_enabled",
+    "code_version",
+    "configure",
+    "corpus_spec",
+    "default_cache_dir",
+    "dnn_spec",
+    "execute",
+    "freeze_config",
+    "open_cache",
+    "programmable_spec",
+    "reset_session_stats",
+    "resolve_jobs",
+    "run_specs",
+    "session_stats",
+    "spmspv_spec",
+    "spmv_spec",
+    "thaw_config",
+]

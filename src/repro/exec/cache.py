@@ -1,0 +1,126 @@
+"""Content-addressed, persistent cache of simulation results.
+
+Every :class:`~repro.exec.spec.RunSpec` hashes to a stable key derived
+from (a) its canonical JSON payload — config fields, workload generator
+arguments, kernel, seeds — and (b) a *code-version salt* that digests
+every source file of the installed ``repro`` package (``.py`` and the
+bundled ``.mtx`` data).  A cached hit therefore returns bit-identical
+results to a live run by construction: any change to the simulator, the
+kernels, the workload generators or the bundled matrices changes the
+salt and orphans stale entries.
+
+Results persist as small JSON documents under ``$REPRO_CACHE_DIR`` (or
+``~/.cache/repro``), sharded by the first two hex digits of the key.
+The cache is strictly best-effort: unreadable, corrupt or
+foreign-schema entries are treated as misses, and write failures are
+ignored — a broken cache directory can slow a sweep down but never
+break or skew it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+
+from .spec import RunSpec, RunSummary
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+#: Bump when the cached JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every repro source/data file (the cache salt)."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    paths = sorted(root.rglob("*.py")) + sorted(root.rglob("*.mtx"))
+    for path in paths:
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            digest.update(b"<unreadable>")
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def cache_key(spec: RunSpec) -> str:
+    """Stable content address of one simulation point."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "code": code_version(),
+        "spec": spec.to_payload(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro"
+
+
+class NullCache:
+    """Cache that stores nothing (``--no-cache`` / ``REPRO_NO_CACHE=1``)."""
+
+    def get(self, spec: RunSpec) -> RunSummary | None:
+        return None
+
+    def put(self, spec: RunSpec, summary: RunSummary) -> None:
+        pass
+
+
+class ResultCache:
+    """Filesystem-backed result store keyed by :func:`cache_key`."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> RunSummary | None:
+        path = self._path(cache_key(spec))
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if data.get("schema") != SCHEMA_VERSION:
+            return None
+        try:
+            return RunSummary.from_json_dict(data["summary"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, spec: RunSpec, summary: RunSummary) -> None:
+        key = cache_key(spec)
+        path = self._path(key)
+        document = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "summary": summary.to_json_dict(),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(document, separators=(",", ":")))
+            tmp.replace(path)  # atomic: concurrent writers race benignly
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.root.glob("*/*.json"))
+        except OSError:
+            return 0

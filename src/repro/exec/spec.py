@@ -1,0 +1,304 @@
+"""Picklable simulation points: what the sweep engine fans out.
+
+A :class:`RunSpec` is a *complete, self-contained* description of one
+``Soc.run`` measurement: the kernel, the workload generator and its
+arguments (sizes, sparsities, seeds), and the full flattened
+:class:`~repro.system.config.SystemConfig`.  Because the spec carries
+everything, it can be
+
+* pickled to a :class:`~concurrent.futures.ProcessPoolExecutor` worker
+  (the matrix/vector are regenerated *in the worker*, so operand
+  construction parallelises too), and
+* hashed into a stable content address for the persistent result cache
+  (any config field, workload argument or seed change changes the key).
+
+:func:`execute` is the single executor: given a spec it rebuilds the
+workload, runs the simulation through the standard
+:mod:`repro.analysis.runners` entry points and returns a lightweight,
+picklable :class:`RunSummary`.  Determinism is load-bearing — the same
+spec must always produce bit-identical cycles, statistics and output
+vectors, which is what makes cached and parallel runs indistinguishable
+from serial live runs (and is covered by tests/exec/).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any
+
+import numpy as np
+
+from ..system.config import SystemConfig
+
+KERNELS = ("spmv", "spmspv", "spmv_programmable")
+WORKLOADS = ("synthetic", "corpus", "dnn")
+
+#: Flattened SystemConfig as a hashable, picklable tuple of (key, value).
+ConfigItems = tuple[tuple[str, Any], ...]
+
+
+def freeze_config(config: SystemConfig) -> ConfigItems:
+    """Flatten a SystemConfig into a hashable tuple of dotted-key pairs."""
+    return tuple(sorted(config.to_flat().items()))
+
+
+def thaw_config(items: ConfigItems) -> SystemConfig:
+    """Rebuild the SystemConfig a spec carries."""
+    return SystemConfig.from_flat(dict(items))
+
+
+def _default_config_items(
+    config: SystemConfig | None, vlmax: int, n_buffers: int
+) -> ConfigItems:
+    if config is None:
+        config = SystemConfig.paper_table1(vlmax=vlmax, n_buffers=n_buffers)
+    return freeze_config(config)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation point (hashable, picklable, content-addressable).
+
+    ``variant`` selects within the kernel family: ``"baseline"``/``"hht"``
+    for SpMV, the mode (``"baseline"``/``"hht_v1"``/``"hht_v2"``) for
+    SpMSpV, and the firmware format name for the programmable HHT.
+    ``vector_sparsity < 0`` means "same as the matrix" (SpMSpV only).
+    ``dnn_rows == 0`` means "all rows" for DNN-layer workloads.
+    """
+
+    kernel: str
+    variant: str = "hht"
+    workload: str = "synthetic"
+    rows: int = 0
+    cols: int = 0
+    sparsity: float = 0.5
+    vector_sparsity: float = -1.0
+    matrix_seed: int = 0
+    vector_seed: int = 0
+    name: str = ""
+    dnn_rows: int = 0
+    config: ConfigItems = ()
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {self.kernel!r}")
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"workload must be one of {WORKLOADS}, got {self.workload!r}"
+            )
+        if self.workload == "synthetic" and (self.rows < 1 or self.cols < 1):
+            raise ValueError("synthetic workloads need positive rows/cols")
+        if self.workload in ("corpus", "dnn") and not self.name:
+            raise ValueError(f"{self.workload} workloads need a name")
+
+    def to_payload(self) -> dict[str, Any]:
+        """Canonical JSON-able form used for content addressing."""
+        payload: dict[str, Any] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        payload["config"] = [[k, v] for k, v in self.config]
+        return payload
+
+
+@dataclass
+class RunSummary:
+    """The picklable, cacheable outcome of one executed :class:`RunSpec`.
+
+    Carries everything the experiment harness tabulates (cycles, wait
+    cycles, per-requester statistics) plus the kernel's output vector
+    ``y`` so determinism is checkable end to end.
+    """
+
+    cycles: int
+    instructions: int
+    cpu_wait_cycles: int
+    hht_wait_cycles: int
+    hht_stats: dict[str, int]
+    port_requests: dict[str, int]
+    frequency_hz: float
+    y: np.ndarray
+    cache_stats: dict[str, Any] | None = None
+
+    @property
+    def cpu_wait_fraction(self) -> float:
+        return self.cpu_wait_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.frequency_hz
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "cpu_wait_cycles": self.cpu_wait_cycles,
+            "hht_wait_cycles": self.hht_wait_cycles,
+            "hht_stats": dict(self.hht_stats),
+            "port_requests": dict(self.port_requests),
+            "frequency_hz": self.frequency_hz,
+            # float32 values are exactly representable as JSON floats.
+            "y": [float(x) for x in self.y],
+            "cache_stats": self.cache_stats,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict[str, Any]) -> "RunSummary":
+        return cls(
+            cycles=int(data["cycles"]),
+            instructions=int(data["instructions"]),
+            cpu_wait_cycles=int(data["cpu_wait_cycles"]),
+            hht_wait_cycles=int(data["hht_wait_cycles"]),
+            hht_stats={k: int(v) for k, v in data["hht_stats"].items()},
+            port_requests={k: int(v) for k, v in data["port_requests"].items()},
+            frequency_hz=float(data["frequency_hz"]),
+            y=np.asarray(data["y"], dtype=np.float32),
+            cache_stats=data.get("cache_stats"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Spec factories (one per harness entry point)
+# ---------------------------------------------------------------------------
+def spmv_spec(
+    shape: tuple[int, int], sparsity: float, *, hht: bool,
+    matrix_seed: int = 0, vector_seed: int = 1,
+    vlmax: int = 8, n_buffers: int = 2,
+    config: SystemConfig | None = None, verify: bool = True,
+) -> RunSpec:
+    """Synthetic-matrix SpMV point (baseline or ASIC HHT)."""
+    rows, cols = shape
+    return RunSpec(
+        kernel="spmv", variant="hht" if hht else "baseline",
+        rows=rows, cols=cols, sparsity=float(sparsity),
+        matrix_seed=matrix_seed, vector_seed=vector_seed,
+        config=_default_config_items(config, vlmax, n_buffers), verify=verify,
+    )
+
+
+def spmspv_spec(
+    size: int, sparsity: float, *, mode: str,
+    vector_sparsity: float | None = None,
+    matrix_seed: int = 0, vector_seed: int = 1,
+    vlmax: int = 8, n_buffers: int = 2,
+    config: SystemConfig | None = None, verify: bool = True,
+) -> RunSpec:
+    """Synthetic SpMSpV point; mode in {'baseline', 'hht_v1', 'hht_v2'}."""
+    return RunSpec(
+        kernel="spmspv", variant=mode,
+        rows=size, cols=size, sparsity=float(sparsity),
+        vector_sparsity=(
+            -1.0 if vector_sparsity is None else float(vector_sparsity)
+        ),
+        matrix_seed=matrix_seed, vector_seed=vector_seed,
+        config=_default_config_items(config, vlmax, n_buffers), verify=verify,
+    )
+
+
+def programmable_spec(
+    shape: tuple[int, int], sparsity: float, *, format_name: str,
+    matrix_seed: int = 0, vector_seed: int = 1,
+    vlmax: int = 8, n_buffers: int = 2,
+    config: SystemConfig | None = None, verify: bool = True,
+) -> RunSpec:
+    """Programmable-HHT SpMV point running *format_name* firmware."""
+    rows, cols = shape
+    return RunSpec(
+        kernel="spmv_programmable", variant=format_name,
+        rows=rows, cols=cols, sparsity=float(sparsity),
+        matrix_seed=matrix_seed, vector_seed=vector_seed,
+        config=_default_config_items(config, vlmax, n_buffers), verify=verify,
+    )
+
+
+def corpus_spec(
+    name: str, *, hht: bool, vector_seed: int = 0,
+    vlmax: int = 8, n_buffers: int = 2,
+    config: SystemConfig | None = None, verify: bool = True,
+) -> RunSpec:
+    """SpMV point on a bundled .mtx corpus matrix."""
+    return RunSpec(
+        kernel="spmv", variant="hht" if hht else "baseline",
+        workload="corpus", name=name, vector_seed=vector_seed,
+        config=_default_config_items(config, vlmax, n_buffers), verify=verify,
+    )
+
+
+def dnn_spec(
+    network: str, *, hht: bool, rows: int | None = None,
+    matrix_seed: int = 0, vector_seed: int = 1,
+    vlmax: int = 8, n_buffers: int = 2,
+    config: SystemConfig | None = None, verify: bool = True,
+) -> RunSpec:
+    """SpMV point on one Fig. 9 DNN fully-connected layer."""
+    return RunSpec(
+        kernel="spmv", variant="hht" if hht else "baseline",
+        workload="dnn", name=network, dnn_rows=rows or 0,
+        matrix_seed=matrix_seed, vector_seed=vector_seed,
+        config=_default_config_items(config, vlmax, n_buffers), verify=verify,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The executor (module-level so ProcessPoolExecutor can pickle it)
+# ---------------------------------------------------------------------------
+def execute(spec: RunSpec) -> RunSummary:
+    """Run one spec end to end; deterministic in the spec alone."""
+    # Late imports: repro.analysis imports repro.exec at module load, so
+    # the reverse edge must not exist at import time.
+    from ..analysis.runners import run_spmspv, run_spmv, run_spmv_programmable
+    from ..workloads.dnn import get_layer
+    from ..workloads.mtx_corpus import load_corpus_matrix
+    from ..workloads.synthetic import (
+        random_csr,
+        random_dense_vector,
+        random_sparse_vector,
+    )
+
+    cfg = thaw_config(spec.config) if spec.config else SystemConfig.paper_table1()
+    vlmax = cfg.cpu.vlmax
+    n_buffers = cfg.hht.n_buffers
+
+    if spec.workload == "synthetic":
+        matrix = random_csr(
+            (spec.rows, spec.cols), spec.sparsity, seed=spec.matrix_seed
+        )
+    elif spec.workload == "corpus":
+        matrix = load_corpus_matrix(spec.name)
+    else:  # dnn
+        matrix = get_layer(spec.name).weights(
+            seed=spec.matrix_seed, rows=spec.dnn_rows or None
+        )
+
+    if spec.kernel == "spmspv":
+        vs = spec.vector_sparsity if spec.vector_sparsity >= 0 else spec.sparsity
+        sv = random_sparse_vector(matrix.ncols, vs, seed=spec.vector_seed)
+        run = run_spmspv(
+            matrix, sv, mode=spec.variant, vlmax=vlmax, n_buffers=n_buffers,
+            verify=spec.verify, config=cfg,
+        )
+    elif spec.kernel == "spmv":
+        v = random_dense_vector(matrix.ncols, seed=spec.vector_seed)
+        run = run_spmv(
+            matrix, v, hht=(spec.variant == "hht"), vlmax=vlmax,
+            n_buffers=n_buffers, verify=spec.verify, config=cfg,
+        )
+    else:  # spmv_programmable
+        v = random_dense_vector(matrix.ncols, seed=spec.vector_seed)
+        run = run_spmv_programmable(
+            matrix, v, format_name=spec.variant, vlmax=vlmax,
+            n_buffers=n_buffers, verify=spec.verify, config=cfg,
+        )
+
+    result = run.result
+    return RunSummary(
+        cycles=result.cycles,
+        instructions=result.instructions,
+        cpu_wait_cycles=result.cpu_wait_cycles,
+        hht_wait_cycles=result.hht_wait_cycles,
+        hht_stats=dict(result.hht_stats),
+        port_requests=dict(result.port_requests),
+        frequency_hz=result.frequency_hz,
+        y=np.asarray(run.y, dtype=np.float32),
+        cache_stats=result.cache_stats,
+    )

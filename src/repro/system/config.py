@@ -1,11 +1,22 @@
-"""Whole-system configuration (the paper's Table 1)."""
+"""Whole-system configuration (the paper's Table 1).
+
+Configurations are *content-addressable*: :meth:`SystemConfig.to_flat`
+flattens every field (including the nested CPU, latency-table, HHT and
+L1D sub-configs) into a dotted-key dictionary of plain scalars,
+:meth:`SystemConfig.from_flat` rebuilds an identical object, and
+:meth:`SystemConfig.content_key` hashes the flattened form.  The sweep
+engine (:mod:`repro.exec`) uses this to key cached simulation results,
+so *any* configuration change — however deep — changes the key.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from ..core.config import HHTConfig
-from ..cpu.timing import CpuConfig
+from ..cpu.timing import CpuConfig, LatencyTable
 from ..memory.cache import CacheConfig
 
 
@@ -44,6 +55,59 @@ class SystemConfig:
         # scalar CPU the Table-1 32-byte (8-element) buffer is kept.
         cfg.hht.buffer_elems = 8 if vlmax == 1 else vlmax
         return cfg
+
+    # ------------------------------------------------------------------
+    # Serialisation / content addressing (used by repro.exec)
+    # ------------------------------------------------------------------
+    def to_flat(self) -> dict[str, object]:
+        """Flatten to a ``{"cpu.latencies.int_alu": 1, ...}`` scalar dict.
+
+        The flattened form is order-independent, JSON-serialisable and
+        complete: :meth:`from_flat` reconstructs an equal configuration.
+        ``cache`` flattens to a single ``None`` entry when absent.
+        """
+        flat: dict[str, object] = {}
+
+        def emit(prefix: str, value: object) -> None:
+            if isinstance(value, dict):
+                for key in sorted(value):
+                    emit(f"{prefix}.{key}" if prefix else str(key), value[key])
+            else:
+                flat[prefix] = value
+
+        emit("", asdict(self))
+        return flat
+
+    @classmethod
+    def from_flat(cls, flat: dict[str, object]) -> "SystemConfig":
+        """Rebuild a configuration from :meth:`to_flat` output."""
+        nested: dict = {}
+        for key, value in flat.items():
+            parts = key.split(".")
+            node = nested
+            for part in parts[:-1]:
+                node = node.setdefault(part, {})
+            node[parts[-1]] = value
+        cpu_fields = dict(nested.get("cpu", {}))
+        latencies = LatencyTable.from_dict(cpu_fields.pop("latencies", {}))
+        cache_fields = nested.get("cache")
+        return cls(
+            ram_bytes=int(nested.get("ram_bytes", cls.ram_bytes)),
+            ram_latency=int(nested.get("ram_latency", cls.ram_latency)),
+            cpu=CpuConfig(latencies=latencies, **cpu_fields),
+            hht=HHTConfig.from_dict(nested.get("hht", {})),
+            cache=(
+                CacheConfig.from_dict(cache_fields)
+                if isinstance(cache_fields, dict) else None
+            ),
+        )
+
+    def content_key(self) -> str:
+        """Stable hash of the full configuration (hex digest)."""
+        blob = json.dumps(
+            self.to_flat(), sort_keys=True, separators=(",", ":"), default=repr
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
 
     def describe(self) -> str:
         """Render the configuration in the shape of the paper's Table 1."""

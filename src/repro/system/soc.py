@@ -42,6 +42,9 @@ class RunResult:
     hht_stats: dict[str, int]
     port_requests: dict[str, int]
     frequency_hz: float
+    #: L1D statistics (hits/misses/writes/by_requester) when the system
+    #: is configured with a cache; None on the flat-SRAM MCU.
+    cache_stats: dict[str, object] | None = None
 
     @property
     def seconds(self) -> float:
@@ -197,6 +200,17 @@ class Soc:
         self.bus.mem.reset()
         self.hht.reset_stats()
         stats = self.cpu.run(program, entry=entry)
+        cache_stats = None
+        if self.cache is not None:
+            cstats = self.cache.stats
+            cache_stats = {
+                "hits": cstats.hits,
+                "misses": cstats.misses,
+                "writes": cstats.writes,
+                "by_requester": {
+                    k: list(v) for k, v in cstats.by_requester.items()
+                },
+            }
         return RunResult(
             cycles=stats.cycles,
             instructions=stats.instructions,
@@ -204,6 +218,7 @@ class Soc:
             hht_stats=self.hht.stats_snapshot(),
             port_requests=dict(self.port.stats.by_requester),
             frequency_hz=self.config.cpu.frequency_hz,
+            cache_stats=cache_stats,
         )
 
     def read_output(self, name: str, count: int, dtype=np.float32) -> np.ndarray:

@@ -103,6 +103,65 @@ class TestReportAndCorpus:
         assert (tmp_path / "sec55.csv").exists()
         assert len(list(tmp_path.glob("*.txt"))) == len(FIGURES)
 
+    def test_report_creates_missing_parents(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SIZE", "48")
+        monkeypatch.setenv("REPRO_DNN_ROWS", "8")
+        nested = tmp_path / "a" / "b" / "out"
+        code, _ = run_cli(capsys, "report", "--out", str(nested), "--size", "48")
+        assert code == 0
+        assert (nested / "fig4.txt").exists()
+
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+def _table_lines(text):
+    return [l for l in text.splitlines() if not l.startswith("sweep engine")]
+
+
+class TestEngineFlags:
+    # These use the "ablation" figure: unlike the fig4-8 sweeps it is not
+    # memoised in-process, so every CLI invocation exercises the engine.
+
+    def test_figure_prints_throughput_line(self, capsys):
+        code, out = run_cli(capsys, "figure", "ablation", "--jobs", "1")
+        assert code == 0
+        assert "sweep engine:" in out
+        assert "jobs=1" in out
+
+    def test_no_cache_bypasses_cache(self, capsys, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        code, _ = run_cli(capsys, "figure", "ablation", "--jobs", "1", "--no-cache")
+        assert code == 0
+        assert not cache_dir.exists()
+
+    def test_warm_cache_rerun_is_identical_with_zero_simulations(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code, cold = run_cli(capsys, "figure", "ablation", "--jobs", "1")
+        assert code == 0
+        code, warm = run_cli(capsys, "figure", "ablation", "--jobs", "1")
+        assert code == 0
+        assert "0 cached" in cold
+        assert "0 simulated" in warm
+        assert _table_lines(cold) == _table_lines(warm)
+
+    def test_parallel_figure_matches_serial(self, capsys):
+        code, serial = run_cli(
+            capsys, "figure", "ablation", "--jobs", "1", "--no-cache"
+        )
+        assert code == 0
+        code, parallel = run_cli(
+            capsys, "figure", "ablation", "--jobs", "2", "--no-cache"
+        )
+        assert code == 0
+        assert _table_lines(serial) == _table_lines(parallel)
+
+    def test_validate_accepts_engine_flags(self, capsys):
+        code, out = run_cli(capsys, "validate", "--size", "64", "--jobs", "1")
+        assert code == 0
+        assert "ALL CLAIMS PASS" in out
+        assert "sweep engine:" in out

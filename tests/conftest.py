@@ -8,6 +8,18 @@ import pytest
 from repro.system import Soc, SystemConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sweep_engine(tmp_path, monkeypatch):
+    """Point the sweep engine at a throwaway cache and a single worker.
+
+    Tests must never read (or pollute) the user's ~/.cache/repro, and
+    single-worker runs keep the suite deterministic on small CI boxes;
+    the engine's own parallel tests override these explicitly.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.setenv("REPRO_JOBS", "1")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

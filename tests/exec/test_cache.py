@@ -1,0 +1,71 @@
+"""Persistent result cache: roundtrips, corruption tolerance, addressing."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.exec import (
+    NullCache,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+    execute,
+    spmv_spec,
+)
+
+SPEC = spmv_spec((16, 16), 0.5, hht=True, matrix_seed=1, vector_seed=2)
+
+
+def test_roundtrip_is_bit_identical(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get(SPEC) is None
+    live = execute(SPEC)
+    cache.put(SPEC, live)
+    hit = cache.get(SPEC)
+    assert hit is not None
+    assert hit.cycles == live.cycles
+    assert hit.instructions == live.instructions
+    assert hit.cpu_wait_cycles == live.cpu_wait_cycles
+    assert hit.hht_wait_cycles == live.hht_wait_cycles
+    assert hit.hht_stats == live.hht_stats
+    assert hit.port_requests == live.port_requests
+    assert np.array_equal(hit.y, live.y)
+    assert len(cache) == 1
+
+
+def test_entries_shard_by_key_prefix(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, execute(SPEC))
+    key = cache_key(SPEC)
+    assert (tmp_path / key[:2] / f"{key}.json").exists()
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, execute(SPEC))
+    path = tmp_path / cache_key(SPEC)[:2] / f"{cache_key(SPEC)}.json"
+    path.write_text("{not json")
+    assert cache.get(SPEC) is None
+
+
+def test_foreign_schema_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, execute(SPEC))
+    path = tmp_path / cache_key(SPEC)[:2] / f"{cache_key(SPEC)}.json"
+    doc = json.loads(path.read_text())
+    doc["schema"] = 999
+    path.write_text(json.dumps(doc))
+    assert cache.get(SPEC) is None
+
+
+def test_null_cache_never_stores():
+    cache = NullCache()
+    cache.put(SPEC, execute(SPEC))
+    assert cache.get(SPEC) is None
+
+
+def test_default_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"

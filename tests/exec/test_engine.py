@@ -1,0 +1,136 @@
+"""Sweep engine: ordering, dedup, parallel determinism, session stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ExecStats,
+    NullCache,
+    ResultCache,
+    caching_enabled,
+    configure,
+    execute,
+    reset_session_stats,
+    resolve_jobs,
+    run_specs,
+    session_stats,
+    spmspv_spec,
+    spmv_spec,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_engine_state():
+    reset_session_stats()
+    configure(jobs=None, use_cache=None)
+    yield
+    reset_session_stats()
+    configure(jobs=None, use_cache=None)
+
+
+def _specs(n=4):
+    return [
+        spmv_spec((16, 16), 0.1 * (i + 1), hht=bool(i % 2),
+                  matrix_seed=i, vector_seed=i + 10)
+        for i in range(n)
+    ]
+
+
+def _assert_same(a, b):
+    assert a.cycles == b.cycles
+    assert a.instructions == b.instructions
+    assert a.cpu_wait_cycles == b.cpu_wait_cycles
+    assert a.hht_stats == b.hht_stats
+    assert np.array_equal(a.y, b.y)
+
+
+def test_results_preserve_spec_order(tmp_path):
+    specs = _specs()
+    results = run_specs(specs, cache=ResultCache(tmp_path))
+    for spec, summary in zip(specs, results):
+        _assert_same(summary, execute(spec))
+
+
+def test_parallel_equals_serial(tmp_path):
+    specs = _specs(5)
+    serial = run_specs(specs, jobs=1, cache=NullCache())
+    parallel = run_specs(specs, jobs=2, cache=NullCache())
+    for a, b in zip(serial, parallel):
+        _assert_same(a, b)
+
+
+def test_cached_equals_live(tmp_path):
+    specs = _specs()
+    live = run_specs(specs, cache=NullCache())
+    cache = ResultCache(tmp_path)
+    run_specs(specs, cache=cache)          # populate
+    cached = run_specs(specs, cache=cache)  # all hits
+    for a, b in zip(live, cached):
+        _assert_same(a, b)
+
+
+def test_warm_cache_runs_zero_simulations(tmp_path):
+    specs = _specs()
+    cache = ResultCache(tmp_path)
+    run_specs(specs, cache=cache)
+    reset_session_stats()
+    run_specs(specs, cache=cache)
+    stats = session_stats()
+    assert stats.executed == 0
+    assert stats.cached == len(specs)
+
+
+def test_duplicate_specs_simulate_once(tmp_path):
+    spec = spmv_spec((16, 16), 0.5, hht=True, matrix_seed=1, vector_seed=2)
+    reset_session_stats()
+    results = run_specs([spec, spec, spec], cache=ResultCache(tmp_path))
+    assert session_stats().executed == 1
+    _assert_same(results[0], results[1])
+    _assert_same(results[0], results[2])
+
+
+def test_mixed_kernels_in_one_batch(tmp_path):
+    specs = [
+        spmv_spec((16, 16), 0.5, hht=False, matrix_seed=1, vector_seed=2),
+        spmspv_spec(16, 0.5, mode="hht_v2", matrix_seed=3, vector_seed=4),
+    ]
+    results = run_specs(specs, cache=NullCache())
+    assert results[0].cycles != results[1].cycles  # different kernels
+    for spec, summary in zip(specs, results):
+        _assert_same(summary, execute(spec))
+
+
+def test_empty_batch():
+    assert run_specs([]) == []
+
+
+def test_resolve_jobs_precedence(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs() == 3          # env
+    assert resolve_jobs(5) == 5         # explicit beats env
+    configure(jobs=2)
+    assert resolve_jobs() == 2          # configure beats env
+    assert resolve_jobs(7) == 7         # explicit beats configure
+    configure(jobs=None)
+    assert resolve_jobs() == 3          # back to env
+
+
+def test_caching_enabled_controls(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    assert caching_enabled()
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert not caching_enabled()
+    configure(use_cache=True)
+    assert caching_enabled()            # configure beats env
+
+
+def test_throughput_line_formatting():
+    stats = ExecStats(executed=3, cached=5, wall_seconds=2.0, jobs=4)
+    line = stats.throughput_line()
+    assert "3 simulated" in line
+    assert "5 cached" in line
+    assert "jobs=4" in line
+    assert f"{stats.points_per_second:.1f} points/s" in line
+    assert stats.total == 8
