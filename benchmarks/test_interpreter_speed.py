@@ -24,6 +24,17 @@ def _spmv_setup(size: int = 64, sparsity: float = 0.5):
     return soc, program
 
 
+def _spmv_hht_setup(size: int = 64, sparsity: float = 0.5):
+    matrix = random_csr((size, size), sparsity, seed=11)
+    v = random_dense_vector(size, seed=12)
+    soc = Soc()
+    soc.load_csr(matrix)
+    soc.load_dense_vector(v)
+    soc.allocate_output(matrix.nrows)
+    program = soc.assemble(spmv_kernel(hht=True, vector=True))
+    return soc, program
+
+
 def test_interpreter_dispatch_speed(benchmark, record_table):
     soc, program = _spmv_setup()
     result = benchmark(soc.run, program)
@@ -40,3 +51,29 @@ def test_interpreter_dispatch_speed(benchmark, record_table):
     # Loose floor: even a slow CI box manages two orders of magnitude
     # more; this only catches catastrophic dispatch-loop regressions.
     assert ips > 20_000
+
+
+def test_mmio_fifo_pop_speed(benchmark, record_table):
+    """I2 — host-side cost of the HHT FIFO pop path.
+
+    Every vector load from a FIFO address walks ``Bus._find_device``
+    (a bisect over the sorted device bases) before the HHT front-end
+    pops its buffer, so this benchmark guards the device-lookup fast
+    path the same way I1 guards the dispatch loop.
+    """
+    soc, program = _spmv_hht_setup()
+    result = benchmark(soc.run, program)
+
+    mean_seconds = benchmark.stats.stats.mean
+    fifo_reads = result.stats["soc.hht.fifo_reads"]
+    pops_per_second = fifo_reads / mean_seconds
+    table = Table(
+        "MMIO FIFO pop throughput (64x64 SpMV on the ASIC HHT, VL=8)",
+        ["fifo_reads", "mean_seconds", "pops_per_second"],
+    )
+    table.add_row(fifo_reads, mean_seconds, pops_per_second)
+    record_table(table, "mmio_fifo_pop_speed")
+
+    # Same spirit as I1: only catastrophic regressions in the bus
+    # routing / FIFO pop path should trip this.
+    assert pops_per_second > 2_000

@@ -58,7 +58,7 @@ def main() -> None:
     from repro.kernels import spmv_baseline_vector
 
     soc.run(soc.assemble(spmv_baseline_vector()))
-    stats = soc.cache.stats
+    stats = soc.cache.counters
     print(f"cached baseline: L1D hit rate {stats.hit_rate:.1%} "
           f"({stats.hits:,} hits / {stats.misses:,} misses)")
     print("""

@@ -2,6 +2,7 @@
 
 from .experiments import (
     SPARSITIES,
+    ablation_banks,
     ablation_memory,
     default_size,
     ext_cached_system,
@@ -52,6 +53,7 @@ from .tiling import TiledRunResult, run_spmv_tiled
 
 __all__ = [
     "SPARSITIES",
+    "ablation_banks",
     "ablation_memory",
     "default_size",
     "ext_cached_system",

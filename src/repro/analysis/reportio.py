@@ -36,6 +36,7 @@ def run_result_to_dict(result: RunResult) -> dict[str, Any]:
         "class_cycles": dict(stats.class_cycles),
         "taken_branches": stats.taken_branches,
         "cache_stats": result.cache_stats,
+        "stats": dict(result.stats),
     }
 
 

@@ -61,9 +61,7 @@ def trace_program(
     a fresh Soc for timing measurements afterwards.
     """
     cpu = soc.cpu
-    cpu.reset()
-    soc.bus.mem.reset()
-    soc.hht.reset_stats()
+    soc.reset()  # the whole component tree, cache tags included
     cpu.prepare(program)
 
     entries: list[TraceEntry] = []

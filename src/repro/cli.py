@@ -10,6 +10,7 @@ Commands:
 * ``report`` — regenerate every artifact into a directory.
 * ``corpus`` — list (or rebuild) the bundled .mtx corpus.
 * ``validate`` — fast self-check of every paper claim (exit 1 on failure).
+* ``stats`` — run one workload and list every stats-registry counter.
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ FIGURES = {
     "programmable": "ext_programmable_hht",
     "cached": "ext_cached_system",
     "ablation": "ablation_memory",
+    "banks": "ablation_banks",
 }
 
 
@@ -100,6 +102,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     val.add_argument("--size", type=int, default=64)
     _add_engine_args(val)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run one workload and list every stats-registry counter",
+    )
+    stats.add_argument("--kernel", choices=("spmv", "spmv-baseline", "spmspv"),
+                       default="spmv")
+    stats.add_argument("--size", type=int, default=64)
+    stats.add_argument("--sparsity", type=float, default=0.5)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--banks", type=int, default=1,
+                       help="word-interleaved RAM banks (default 1)")
+    stats.add_argument("--hhts", type=int, default=1,
+                       help="HHT instances on the bus (default 1)")
+    stats.add_argument("--ram-latency", type=int, default=2)
+    stats.add_argument("--cached", action="store_true",
+                       help="add the Section 3.2 L1D in front of the RAM")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the registry as JSON")
 
     return parser
 
@@ -216,6 +237,45 @@ def _cmd_validate(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_stats(args) -> int:
+    """Simulate one workload and dump the component-tree stats registry."""
+    import json
+
+    from .analysis import run_spmspv, run_spmv
+    from .memory import CacheConfig
+    from .system.config import SystemConfig
+    from .workloads import random_csr, random_dense_vector, random_sparse_vector
+
+    cfg = SystemConfig.paper_table1()
+    cfg.banks = args.banks
+    cfg.n_hhts = args.hhts
+    cfg.ram_latency = args.ram_latency
+    if args.cached:
+        cfg.cache = CacheConfig()
+
+    n = args.size
+    matrix = random_csr((n, n), args.sparsity, seed=args.seed)
+    if args.kernel == "spmspv":
+        sv = random_sparse_vector(n, args.sparsity, seed=args.seed + 1)
+        run = run_spmspv(matrix, sv, mode="hht_v2", config=cfg)
+    else:
+        v = random_dense_vector(n, seed=args.seed + 1)
+        run = run_spmv(matrix, v, hht=(args.kernel == "spmv"), config=cfg)
+    stats = run.result.stats
+
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.kernel} {n}x{n}, {matrix.sparsity:.0%} sparse, "
+          f"banks={cfg.banks}, hhts={cfg.n_hhts}"
+          + (", L1D" if cfg.cache else "")
+          + f" — {len(stats)} counters:")
+    width = max(len(k) for k in stats)
+    for key in sorted(stats):
+        print(f"  {key:<{width}}  {stats[key]}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "spmv": _cmd_spmv,
@@ -224,6 +284,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "corpus": _cmd_corpus,
     "validate": _cmd_validate,
+    "stats": _cmd_stats,
 }
 
 

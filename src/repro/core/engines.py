@@ -38,10 +38,13 @@ class BackEndEngine:
     """Common machinery: streams, clock, capacity gating, wait accounting."""
 
     def __init__(self, config: HHTConfig, mem: MemorySystem | MemoryPort,
-                 start_cycle: int):
+                 start_cycle: int, requester: str = "hht"):
         self.config = config
         self.mem = _as_mem(mem)
         self.port = self.mem.port
+        #: Label charged on the shared port for this engine's traffic
+        #: (the owning HHT's component name).
+        self.requester = requester
         self.time = start_cycle
         self.exhausted = False
         self.blocked_since: int | None = None
@@ -60,7 +63,7 @@ class BackEndEngine:
     def _seq_read(self, cycle: int, addr: int, words: int) -> int:
         """Sequential metadata read through the BE's wide interface."""
         return self.mem.read_seq(
-            addr, words, cycle, "hht",
+            addr, words, cycle, self.requester,
             words_per_slot=self.config.seq_words_per_slot,
         )
 
@@ -121,8 +124,9 @@ class SpMVGatherEngine(BackEndEngine):
     streaming as soon as the first column response arrives.
     """
 
-    def __init__(self, config, mem, start_cycle, ram: Ram, regs: dict[str, int]):
-        super().__init__(config, mem, start_cycle)
+    def __init__(self, config, mem, start_cycle, ram: Ram, regs: dict[str, int],
+                 requester: str = "hht"):
+        super().__init__(config, mem, start_cycle, requester)
         nrows = regs["m_num_rows"]
         rows = ram.read_array(regs["m_rows_base"], nrows + 1, np.int32)
         # Row pointers may be absolute (a tile aliasing a larger matrix's
@@ -166,9 +170,10 @@ class SpMVGatherEngine(BackEndEngine):
         first_col_ready = t_cols - (count - 1) // cfg.seq_words_per_slot
         t_v = first_col_ready
         read = self.mem.read
+        requester = self.requester
         v_base = self.v_base
         for i, col in enumerate(chunk):
-            done = read(v_base + 4 * int(col), first_col_ready + 1 + i, "hht")
+            done = read(v_base + 4 * int(col), first_col_ready + 1 + i, requester)
             if done > t_v:
                 t_v = done
         ready = t_v + cfg.fill_overhead
@@ -194,8 +199,9 @@ class SpMSpVValueEngine(BackEndEngine):
     computations on zeros".
     """
 
-    def __init__(self, config, mem, start_cycle, ram: Ram, regs: dict[str, int]):
-        super().__init__(config, mem, start_cycle)
+    def __init__(self, config, mem, start_cycle, ram: Ram, regs: dict[str, int],
+                 requester: str = "hht"):
+        super().__init__(config, mem, start_cycle, requester)
         nrows = regs["m_num_rows"]
         rows = ram.read_array(regs["m_rows_base"], nrows + 1, np.int32)
         self.nnz = int(rows[-1] - rows[0]) if nrows else 0
@@ -238,9 +244,10 @@ class SpMSpVValueEngine(BackEndEngine):
         t_cols = self._seq_read(t, self.cols_base + 4 * start, count)
         first_col_ready = t_cols - (count - 1) // cfg.seq_words_per_slot
         read = self.mem.read
+        requester = self.requester
         t_map = first_col_ready
         for i, col in enumerate(chunk):
-            done = read(self.map_base + 4 * int(col), first_col_ready + 1 + i, "hht")
+            done = read(self.map_base + 4 * int(col), first_col_ready + 1 + i, requester)
             if done > t_map:
                 t_map = done
         if hits:
@@ -248,7 +255,7 @@ class SpMSpVValueEngine(BackEndEngine):
             t_val = t_map
             for i, pos in enumerate(hit_positions):
                 done = read(
-                    self.vpad_base + 4 * int(pos), first_map_ready + 1 + i, "hht"
+                    self.vpad_base + 4 * int(pos), first_map_ready + 1 + i, requester
                 )
                 if done > t_val:
                     t_val = done
@@ -274,8 +281,9 @@ class SpMSpVAlignedEngine(BackEndEngine):
     from the COUNT FIFO, then streams the pairs.
     """
 
-    def __init__(self, config, mem, start_cycle, ram: Ram, regs: dict[str, int]):
-        super().__init__(config, mem, start_cycle)
+    def __init__(self, config, mem, start_cycle, ram: Ram, regs: dict[str, int],
+                 requester: str = "hht"):
+        super().__init__(config, mem, start_cycle, requester)
         self.nrows = regs["m_num_rows"]
         self.rows = ram.read_array(regs["m_rows_base"], self.nrows + 1, np.int32)
         if self.nrows and self.rows[0]:
@@ -349,16 +357,17 @@ class SpMSpVAlignedEngine(BackEndEngine):
         merge_done = max(t_meta, t + steps)
         if nm:
             read = self.mem.read
+            requester = self.requester
             t_pairs = merge_done
             for j, k in enumerate(matched_k):
                 done = read(
-                    self.mvals_base + 4 * (lo + int(k)), merge_done + 1 + 2 * j, "hht"
+                    self.mvals_base + 4 * (lo + int(k)), merge_done + 1 + 2 * j, requester
                 )
                 if done > t_pairs:
                     t_pairs = done
             for j, vp in enumerate(matched_vpos):
                 done = read(
-                    self.vpad_base + 4 * (int(vp) + 1), merge_done + 2 + 2 * j, "hht"
+                    self.vpad_base + 4 * (int(vp) + 1), merge_done + 2 + 2 * j, requester
                 )
                 if done > t_pairs:
                     t_pairs = done

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..component import SimComponent, StatsDict
 from ..memory.hierarchy import MemorySystem
 from ..memory.port import MemoryPort
 from ..memory.ram import Ram
@@ -58,11 +59,17 @@ class HHTStats:
         return data
 
 
-class HHT:
-    """Memory-side accelerator exposed as an MMIO device."""
+class HHT(SimComponent):
+    """Memory-side accelerator exposed as an MMIO device.
+
+    The component *name* doubles as the requester label charged on the
+    shared memory port, so multi-HHT systems ("hht0", "hht1", ...) keep
+    per-device contention accounting.
+    """
 
     def __init__(self, config: HHTConfig, ram: Ram,
-                 mem: MemorySystem | MemoryPort):
+                 mem: MemorySystem | MemoryPort, name: str = "hht"):
+        super().__init__(name)
         self.config = config
         self.ram = ram
         self.mem = mem if isinstance(mem, MemorySystem) else MemorySystem(mem)
@@ -88,7 +95,27 @@ class HHT:
         self.engine: BackEndEngine | None = None
         self.firmware = None  # Program for PROGRAMMABLE mode
         self.helper_config = None
-        self.stats = HHTStats()
+        self.counters = HHTStats()
+
+    def _reset_local(self) -> None:
+        """Clear counters and drop the finished engine (regs and firmware
+        survive — they model configuration state, not run state)."""
+        self.counters = HHTStats()
+        self.engine = None
+
+    def _local_stats(self) -> StatsDict:
+        out: StatsDict = dict(self.counters.snapshot(self.engine))
+        engine = self.engine
+        if engine is not None:
+            for sname, stream in engine.streams.items():
+                out[f"stream.{sname}.reads"] = stream.stats.reads
+                out[f"stream.{sname}.cpu_wait_cycles"] = (
+                    stream.stats.cpu_wait_cycles
+                )
+                out[f"stream.{sname}.elements_supplied"] = (
+                    stream.stats.elements_supplied
+                )
+        return out
 
     def load_firmware(self, firmware, helper_config=None) -> None:
         """Install helper-core firmware for PROGRAMMABLE mode (Section 7).
@@ -170,14 +197,17 @@ class HHT:
                 )
             self.engine = ProgrammableEngine(
                 self.config, self.mem, cycle, self.ram, self.regs,
-                self.firmware, self.helper_config,
+                self.firmware, self.helper_config, requester=self.name,
             )
-            self.stats.starts += 1
+            self.counters.starts += 1
             self.engine.pump(cycle)
             return
         engine_cls = _ENGINES[mode]
-        self.engine = engine_cls(self.config, self.mem, cycle, self.ram, self.regs)
-        self.stats.starts += 1
+        self.engine = engine_cls(
+            self.config, self.mem, cycle, self.ram, self.regs,
+            requester=self.name,
+        )
+        self.counters.starts += 1
         # Prefetch: the BE begins filling buffers immediately (Section 3.1,
         # "N >= 2 permits the HHT to prefetch and store buffers ahead").
         self.engine.pump(cycle)
@@ -224,9 +254,9 @@ class HHT:
         # the buffer into the read datapath (one FE cycle after the data
         # was available) — with N=1 this forces fill/drain alternation.
         engine.pump(max(cycle, last_ready) + cfg.fifo_read_latency)
-        self.stats.cpu_wait_cycles += wait
-        self.stats.fifo_reads += 1
-        self.stats.elements_supplied += count
+        self.counters.cpu_wait_cycles += wait
+        self.counters.fifo_reads += 1
+        self.counters.elements_supplied += count
         stream.stats.reads += 1
         stream.stats.cpu_wait_cycles += wait
         return values, completion
@@ -235,7 +265,8 @@ class HHT:
     # Introspection
     # ------------------------------------------------------------------
     def stats_snapshot(self) -> dict[str, int]:
-        return self.stats.snapshot(self.engine)
+        return self.counters.snapshot(self.engine)
 
     def reset_stats(self) -> None:
-        self.stats = HHTStats()
+        """Legacy alias for :meth:`reset` (kept for the trace tooling)."""
+        self.reset()

@@ -118,15 +118,16 @@ class ProgrammableEngine(BackEndEngine):
         regs: dict[str, int],
         firmware: Program,
         helper_config: CpuConfig | None = None,
+        requester: str = "hht",
     ):
-        super().__init__(config, mem, start_cycle)
+        super().__init__(config, mem, start_cycle, requester)
         self.firmware = firmware
         self.emit_device = EmitDevice()
 
         # The helper core shares the timing hierarchy (port + L1D): in
         # the cached integration "HHT will access the cache" (Section 3).
         helper_bus = Bus(
-            ram, self.mem.port, default_requester="hht",
+            ram, self.mem.port, default_requester=requester,
             cache=self.mem.cache,
         )
         helper_bus.attach_device(HELPER_EMIT_BASE, 0x10, self.emit_device)
@@ -166,7 +167,7 @@ class ProgrammableEngine(BackEndEngine):
 
     @property
     def helper_instructions(self) -> int:
-        return self.helper.stats.instructions
+        return self.helper.counters.instructions
 
     def step(self) -> None:
         """Run the firmware until it has produced one complete row unit."""

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..component import SimComponent, StatsDict
 from ..isa.instructions import INSTRUCTION_CLASS, Instr
 from ..isa.program import Program
 from ..memory.bus import Bus
@@ -70,19 +71,21 @@ class CpuStats:
         self.class_cycles[klass] = self.class_cycles.get(klass, 0) + cycles
 
 
-class Cpu:
+class Cpu(SimComponent):
     """In-order RV32-style core bound to a :class:`~repro.memory.bus.Bus`."""
 
-    def __init__(self, bus: Bus, config: CpuConfig | None = None):
+    def __init__(self, bus: Bus, config: CpuConfig | None = None,
+                 name: str = "cpu"):
+        super().__init__(name)
         self.bus = bus
         self.config = config or CpuConfig()
         self.lat = self.config.latencies
         self.vlmax = self.config.vlmax
         self.profile = False
-        self.reset()
+        self._reset_local()
         self._dispatch = self._build_dispatch()
 
-    def reset(self) -> None:
+    def _reset_local(self) -> None:
         self.x: list[int] = [0] * 32
         self.f: list[float] = [0.0] * 32
         self.v: list[np.ndarray] = [
@@ -91,12 +94,29 @@ class Cpu:
         self.vl = self.vlmax
         self.cycle = 0
         self.halted = False
-        self.stats = CpuStats()
+        self.counters = CpuStats()
         # Hot-path aliases: _charge bumps these on every instruction, so
-        # skip the stats-object indirection (and merge_class's dict.get
+        # skip the counters-object indirection (and merge_class's dict.get
         # pair) in the dispatch loop.
-        self._class_counts = self.stats.class_counts
-        self._class_cycles = self.stats.class_cycles
+        self._class_counts = self.counters.class_counts
+        self._class_cycles = self.counters.class_cycles
+
+    def _local_stats(self) -> StatsDict:
+        c = self.counters
+        out: StatsDict = {
+            "instructions": c.instructions,
+            "cycles": c.cycles,
+            "taken_branches": c.taken_branches,
+        }
+        for klass, n in c.class_counts.items():
+            out[f"class_counts.{klass}"] = n
+        for klass, n in c.class_cycles.items():
+            out[f"class_cycles.{klass}"] = n
+        for pc, n in c.pc_counts.items():
+            out[f"pc_counts.{pc}"] = n
+        for pc, n in c.pc_cycles.items():
+            out[f"pc_cycles.{pc}"] = n
+        return out
 
     # ------------------------------------------------------------------
     # Execution loop
@@ -116,7 +136,7 @@ class Cpu:
         self.halted = False
         n = len(code)
         budget = self.config.max_instructions
-        stats = self.stats
+        stats = self.counters
         executed = stats.instructions
         limit = executed + budget
         if self.profile:
@@ -179,13 +199,13 @@ class Cpu:
             raise SimulationError(f"PC out of range: {pc} (program {self._step_name})")
         handler, ins = code[pc]
         self._step_pc = handler(ins, pc)
-        self.stats.instructions += 1
-        if self.stats.instructions >= self.config.max_instructions:
+        self.counters.instructions += 1
+        if self.counters.instructions >= self.config.max_instructions:
             raise SimulationError(
                 f"instruction budget of {self.config.max_instructions} "
                 f"exhausted in {self._step_name}"
             )
-        self.stats.cycles = self.cycle
+        self.counters.cycles = self.cycle
         return not self.halted
 
     def _build_dispatch(self) -> dict[str, object]:
@@ -453,7 +473,7 @@ class Cpu:
         cost = self.lat.branch
         if taken:
             cost += self.lat.branch_taken_penalty
-            self.stats.taken_branches += 1
+            self.counters.taken_branches += 1
         self._charge("branch", cost)
         return ins.target if taken else pc + 1
 

@@ -28,6 +28,7 @@ from typing import Any
 
 import numpy as np
 
+from ..component import cache_stats_view, hht_stats_view, port_requests_view
 from ..system.config import SystemConfig
 
 KERNELS = ("spmv", "spmspv", "spmv_programmable")
@@ -105,20 +106,37 @@ class RunSpec:
 class RunSummary:
     """The picklable, cacheable outcome of one executed :class:`RunSpec`.
 
-    Carries everything the experiment harness tabulates (cycles, wait
-    cycles, per-requester statistics) plus the kernel's output vector
-    ``y`` so determinism is checkable end to end.
+    Carries the flat component-tree stats registry (everything the
+    experiment harness tabulates — cycles, wait cycles, per-requester
+    counts — is in there or derived from it as a view) plus the kernel's
+    output vector ``y`` so determinism is checkable end to end.
     """
 
     cycles: int
     instructions: int
-    cpu_wait_cycles: int
-    hht_wait_cycles: int
-    hht_stats: dict[str, int]
-    port_requests: dict[str, int]
+    stats: dict[str, int | float]
     frequency_hz: float
     y: np.ndarray
-    cache_stats: dict[str, Any] | None = None
+
+    @property
+    def cpu_wait_cycles(self) -> int:
+        return self.hht_stats.get("cpu_wait_cycles", 0)
+
+    @property
+    def hht_wait_cycles(self) -> int:
+        return self.hht_stats.get("hht_wait_cycles", 0)
+
+    @property
+    def hht_stats(self) -> dict[str, int]:
+        return hht_stats_view(self.stats)
+
+    @property
+    def port_requests(self) -> dict[str, int]:
+        return port_requests_view(self.stats)
+
+    @property
+    def cache_stats(self) -> dict[str, Any] | None:
+        return cache_stats_view(self.stats)
 
     @property
     def cpu_wait_fraction(self) -> float:
@@ -132,14 +150,10 @@ class RunSummary:
         return {
             "cycles": self.cycles,
             "instructions": self.instructions,
-            "cpu_wait_cycles": self.cpu_wait_cycles,
-            "hht_wait_cycles": self.hht_wait_cycles,
-            "hht_stats": dict(self.hht_stats),
-            "port_requests": dict(self.port_requests),
+            "stats": dict(self.stats),
             "frequency_hz": self.frequency_hz,
             # float32 values are exactly representable as JSON floats.
             "y": [float(x) for x in self.y],
-            "cache_stats": self.cache_stats,
         }
 
     @classmethod
@@ -147,13 +161,10 @@ class RunSummary:
         return cls(
             cycles=int(data["cycles"]),
             instructions=int(data["instructions"]),
-            cpu_wait_cycles=int(data["cpu_wait_cycles"]),
-            hht_wait_cycles=int(data["hht_wait_cycles"]),
-            hht_stats={k: int(v) for k, v in data["hht_stats"].items()},
-            port_requests={k: int(v) for k, v in data["port_requests"].items()},
+            stats={k: (float(v) if isinstance(v, float) else int(v))
+                   for k, v in data["stats"].items()},
             frequency_hz=float(data["frequency_hz"]),
             y=np.asarray(data["y"], dtype=np.float32),
-            cache_stats=data.get("cache_stats"),
         )
 
 
@@ -294,11 +305,7 @@ def execute(spec: RunSpec) -> RunSummary:
     return RunSummary(
         cycles=result.cycles,
         instructions=result.instructions,
-        cpu_wait_cycles=result.cpu_wait_cycles,
-        hht_wait_cycles=result.hht_wait_cycles,
-        hht_stats=dict(result.hht_stats),
-        port_requests=dict(result.port_requests),
+        stats=dict(result.stats),
         frequency_hz=result.frequency_hz,
         y=np.asarray(run.y, dtype=np.float32),
-        cache_stats=result.cache_stats,
     )

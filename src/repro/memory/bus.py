@@ -16,8 +16,10 @@ buffer is ready).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Protocol
 
+from ..component import SimComponent
 from .cache import L1Cache
 from .hierarchy import MemorySystem
 from .port import MemoryPort
@@ -44,12 +46,17 @@ class MMIODevice(Protocol):
         ...
 
 
-class Bus:
+class Bus(SimComponent):
     """Routes word accesses by address and charges port timing for RAM.
 
     ``default_requester`` labels port traffic when the caller does not —
     the main CPU's bus uses "cpu"; the programmable HHT's helper core
-    gets its own bus labelled "hht" so contention accounting stays right.
+    gets its own bus labelled after its HHT so contention accounting
+    stays right.
+
+    As a component the bus is transparent (empty name): its memory
+    system's port and cache register directly under the parent's path.
+    Devices are *not* bus children — the SoC owns them.
     """
 
     def __init__(
@@ -59,11 +66,16 @@ class Bus:
         default_requester: str = "cpu",
         cache: L1Cache | None = None,
     ):
+        super().__init__("")
         self.ram = ram
         self.port = port
         self.mem = MemorySystem(port, cache)
+        self.add_child(self.mem)
         self.default_requester = default_requester
+        # Sorted by base so lookups can bisect; MMIO pops on the HHT
+        # FIFO path hit _find_device once per vector element.
         self._devices: list[tuple[int, int, MMIODevice]] = []
+        self._device_bases: list[int] = []
 
     def attach_device(self, base: int, size: int, device: MMIODevice) -> None:
         """Map *device* at ``[base, base+size)``; must not overlap RAM/devices."""
@@ -76,11 +88,15 @@ class Bus:
                 raise ValueError(
                     f"device at 0x{base:08x} overlaps existing device at 0x{other_base:08x}"
                 )
-        self._devices.append((base, size, device))
+        idx = bisect_right(self._device_bases, base)
+        self._devices.insert(idx, (base, size, device))
+        self._device_bases.insert(idx, base)
 
     def _find_device(self, addr: int) -> tuple[int, MMIODevice]:
-        for base, size, device in self._devices:
-            if base <= addr < base + size:
+        idx = bisect_right(self._device_bases, addr) - 1
+        if idx >= 0:
+            base, size, device = self._devices[idx]
+            if addr < base + size:
                 return addr - base, device
         raise MemoryAccessError(f"no device mapped at 0x{addr:08x}")
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..component import SimComponent, StatsDict
 from .port import MemoryPort
 
 
@@ -88,21 +89,32 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
-class L1Cache:
+class L1Cache(SimComponent):
     """Set-associative, LRU, read-allocate, write-through timing cache."""
 
-    def __init__(self, config: CacheConfig, port: MemoryPort):
+    def __init__(self, config: CacheConfig, port: MemoryPort,
+                 name: str = "l1d"):
+        super().__init__(name)
         self.config = config
         self.port = port
         # Per set: list of [tag, last_used] ways (timing/tag state only).
         self._sets: list[list[list[int]]] = [[] for _ in range(config.n_sets)]
         self._use_counter = 0
-        self.stats = CacheStats()
+        self.counters = CacheStats()
 
-    def reset(self) -> None:
+    def _reset_local(self) -> None:
         self._sets = [[] for _ in range(self.config.n_sets)]
         self._use_counter = 0
-        self.stats = CacheStats()
+        self.counters = CacheStats()
+
+    def _local_stats(self) -> StatsDict:
+        c = self.counters
+        out: StatsDict = {"hits": c.hits, "misses": c.misses,
+                          "writes": c.writes}
+        for requester, (hits, misses) in c.by_requester.items():
+            out[f"requester.{requester}.hits"] = hits
+            out[f"requester.{requester}.misses"] = misses
+        return out
 
     # ------------------------------------------------------------------
     def _locate(self, addr: int) -> tuple[int, int]:
@@ -117,11 +129,14 @@ class L1Cache:
         for way in ways:
             if way[0] == tag:
                 way[1] = self._use_counter
-                self.stats.record(requester, hit=True)
+                self.counters.record(requester, hit=True)
                 return cycle + self.config.hit_latency
         # Miss: fetch the whole line from memory, then answer.
-        self.stats.record(requester, hit=False)
-        fill_done = self.port.issue_burst(cycle, self.config.line_words, requester)
+        self.counters.record(requester, hit=False)
+        line_base = addr - addr % self.config.line_bytes
+        fill_done = self.port.issue_burst(
+            cycle, self.config.line_words, requester, addr=line_base
+        )
         if len(ways) >= self.config.assoc:
             ways.remove(min(ways, key=lambda w: w[1]))  # evict LRU
         ways.append([tag, self._use_counter])
@@ -135,8 +150,8 @@ class L1Cache:
             if way[0] == tag:
                 way[1] = self._use_counter  # keep the line warm
                 break
-        self.stats.writes += 1
-        return self.port.issue(cycle, requester)
+        self.counters.writes += 1
+        return self.port.issue(cycle, requester, addr=addr)
 
     def contains(self, addr: int) -> bool:
         set_idx, tag = self._locate(addr)

@@ -10,33 +10,38 @@ sparse data") — and writes are written through.
 
 from __future__ import annotations
 
+from ..component import SimComponent
 from .cache import L1Cache
 from .port import MemoryPort
 
 
-class MemorySystem:
-    """Address-aware timing facade over the port and the optional L1D."""
+class MemorySystem(SimComponent):
+    """Address-aware timing facade over the port and the optional L1D.
+
+    As a component the facade is *transparent* (empty name): the port
+    and cache appear in the registry under their own names
+    (``...ram.*`` / ``...l1d.*``) with no extra path segment.
+    """
 
     def __init__(self, port: MemoryPort, cache: L1Cache | None = None):
+        super().__init__("")
         self.port = port
         self.cache = cache
-
-    def reset(self) -> None:
-        self.port.reset()
-        if self.cache is not None:
-            self.cache.reset()
+        self.add_child(port)
+        if cache is not None:
+            self.add_child(cache)
 
     # ------------------------------------------------------------------
     def read(self, addr: int, cycle: int, requester: str) -> int:
         """One word read; returns the completion cycle."""
         if self.cache is None:
-            return self.port.issue(cycle, requester)
+            return self.port.issue(cycle, requester, addr)
         return self.cache.read(addr, cycle, requester)
 
     def write(self, addr: int, cycle: int, requester: str) -> int:
         """One word write (write-through when cached)."""
         if self.cache is None:
-            return self.port.issue(cycle, requester)
+            return self.port.issue(cycle, requester, addr)
         return self.cache.write(addr, cycle, requester)
 
     def read_seq(
@@ -54,7 +59,10 @@ class MemorySystem:
             return cycle
         if self.cache is None:
             slots = (words + words_per_slot - 1) // words_per_slot
-            return self.port.issue_burst(cycle, slots, requester)
+            return self.port.issue_burst(
+                cycle, slots, requester, addr=addr,
+                stride_words=words_per_slot,
+            )
         line = self.cache.config.line_bytes
         first = addr - (addr % line)
         last = addr + 4 * words - 1
@@ -71,7 +79,7 @@ class MemorySystem:
         if words <= 0:
             return cycle
         if self.cache is None:
-            return self.port.issue_burst(cycle, words, requester)
+            return self.port.issue_burst(cycle, words, requester, addr=addr)
         completion = cycle
         for i in range(words):
             completion = self.cache.write(addr + 4 * i, cycle + i, requester)

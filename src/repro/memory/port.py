@@ -1,19 +1,29 @@
-"""Timing model of a pipelined memory issue port.
+"""Timing model of a pipelined, optionally banked memory issue port.
 
 Table 1's system has a single on-chip RAM shared by the CPU and the HHT
 (Section 3.2: "the BE issues requests to the on-chip RAM via an on-chip
-interconnect").  We model the RAM as *pipelined*: it accepts at most one
-word request per cycle and answers a fixed number of cycles later.  Both
-the CPU's load/store unit and the HHT back-end contend for the same issue
-slots, which is how memory contention between the two engines arises.
+interconnect").  We model the RAM as *pipelined*: each bank accepts at
+most one word request per cycle and answers a fixed number of cycles
+later.  Both the CPU's load/store unit and the HHT back-end contend for
+the same issue slots, which is how memory contention between the two
+engines arises.
 
-The port is event-driven: a request presented at cycle ``t`` is issued at
+With ``banks=1`` (the paper's configuration) the port is the classic
+single-issue pipe: a request presented at cycle ``t`` issues at
 ``max(t, next_free_slot)`` and completes ``latency`` cycles after issue.
+
+With ``banks=N`` the RAM is word-interleaved: word address ``w`` lives
+in bank ``w % N`` and each bank has its own issue pipe.  Requests to
+different banks proceed in parallel; requests to the same bank still
+serialise one per cycle.  ``banks=1`` reproduces the single port
+bit-identically — the banked path is only taken when ``banks > 1``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..component import SimComponent, StatsDict
 
 
 @dataclass
@@ -22,59 +32,124 @@ class PortStats:
 
     requests: int = 0
     queue_cycles: int = 0  # cycles requests spent waiting for an issue slot
+    busy_cycles: int = 0   # issue slots consumed (bank-cycles of occupancy)
     by_requester: dict[str, int] = field(default_factory=dict)
 
     def record(self, requester: str, waited: int) -> None:
         self.requests += 1
         self.queue_cycles += waited
+        self.busy_cycles += 1
         self.by_requester[requester] = self.by_requester.get(requester, 0) + 1
 
 
-class MemoryPort:
-    """Single-issue pipelined port: 1 request/cycle, fixed response latency."""
+class MemoryPort(SimComponent):
+    """Pipelined issue port: 1 request/bank/cycle, fixed response latency."""
 
-    def __init__(self, latency: int = 2, name: str = "ram"):
+    def __init__(self, latency: int = 2, name: str = "ram", banks: int = 1):
         if latency < 1:
             raise ValueError(f"latency must be >= 1, got {latency}")
+        if banks < 1:
+            raise ValueError(f"banks must be >= 1, got {banks}")
+        super().__init__(name)
         self.latency = int(latency)
-        self.name = name
-        self.next_free_slot = 0
-        self.stats = PortStats()
+        self.banks = int(banks)
+        self._bank_free = [0] * self.banks
+        self._bank_requests = [0] * self.banks
+        self.counters = PortStats()
 
-    def reset(self) -> None:
-        self.next_free_slot = 0
-        self.stats = PortStats()
+    def _reset_local(self) -> None:
+        self._bank_free = [0] * self.banks
+        self._bank_requests = [0] * self.banks
+        self.counters = PortStats()
 
-    def issue(self, cycle: int, requester: str = "cpu") -> int:
+    def _local_stats(self) -> StatsDict:
+        c = self.counters
+        out: StatsDict = {
+            "requests": c.requests,
+            "queue_cycles": c.queue_cycles,
+            "busy_cycles": c.busy_cycles,
+        }
+        for requester, n in c.by_requester.items():
+            out[f"requester.{requester}"] = n
+        if self.banks > 1:
+            for i, n in enumerate(self._bank_requests):
+                out[f"bank{i}.requests"] = n
+        return out
+
+    @property
+    def next_free_slot(self) -> int:
+        """Earliest cycle with every bank free (the single-bank pipe head)."""
+        return max(self._bank_free)
+
+    def bank_of(self, addr: int) -> int:
+        """Word-interleaved mapping: word address modulo the bank count."""
+        return (addr >> 2) % self.banks
+
+    def issue(self, cycle: int, requester: str = "cpu", addr: int = 0) -> int:
         """Issue one word request at *cycle*; return its completion cycle."""
-        slot = cycle if cycle >= self.next_free_slot else self.next_free_slot
-        self.next_free_slot = slot + 1
-        self.stats.record(requester, slot - cycle)
+        if self.banks == 1:
+            free = self._bank_free
+            slot = cycle if cycle >= free[0] else free[0]
+            free[0] = slot + 1
+            self.counters.record(requester, slot - cycle)
+            return slot + self.latency
+        bank = (addr >> 2) % self.banks
+        free = self._bank_free
+        slot = cycle if cycle >= free[bank] else free[bank]
+        free[bank] = slot + 1
+        self._bank_requests[bank] += 1
+        self.counters.record(requester, slot - cycle)
         return slot + self.latency
 
-    def issue_burst(self, cycle: int, count: int, requester: str = "cpu") -> int:
-        """Issue *count* back-to-back word requests; return the completion
-        cycle of the last one.
+    def issue_burst(
+        self, cycle: int, count: int, requester: str = "cpu",
+        addr: int = 0, stride_words: int = 1,
+    ) -> int:
+        """Issue *count* back-to-back requests; return the completion cycle
+        of the last one.
 
-        A burst models a unit-stride vector load/store: the addresses are
-        sequential so the requests stream through the pipelined port one
-        per cycle.
+        A burst models a unit-stride vector load/store (or one wide
+        memory-side HHT beat per slot when ``stride_words > 1``): beat
+        ``i`` wants to issue at ``cycle + i`` and covers the words
+        starting at ``addr + 4 * i * stride_words``.  On a banked port
+        consecutive beats fall in different banks and can catch up after
+        a head-of-burst stall; on the single port they stream one per
+        cycle behind the head beat.
         """
         if count <= 0:
             return cycle
-        slot = cycle if cycle >= self.next_free_slot else self.next_free_slot
-        self.next_free_slot = slot + count
-        self.stats.record(requester, slot - cycle)
-        if count > 1:
-            # Remaining beats issue with no extra queueing by construction.
-            self.stats.requests += count - 1
-            self.stats.by_requester[requester] = (
-                self.stats.by_requester.get(requester, 0) + count - 1
+        counters = self.counters
+        if self.banks == 1:
+            free = self._bank_free
+            slot = cycle if cycle >= free[0] else free[0]
+            free[0] = slot + count
+            waited = slot - cycle
+            # Every beat waits as long as the head beat: beat i wants
+            # cycle+i and issues at slot+i.
+            counters.requests += count
+            counters.queue_cycles += waited * count
+            counters.busy_cycles += count
+            counters.by_requester[requester] = (
+                counters.by_requester.get(requester, 0) + count
             )
-        return slot + count - 1 + self.latency
+            return slot + count - 1 + self.latency
+        free = self._bank_free
+        word0 = addr >> 2
+        last_slot = cycle
+        for i in range(count):
+            bank = (word0 + i * stride_words) % self.banks
+            desired = cycle + i
+            slot = desired if desired >= free[bank] else free[bank]
+            free[bank] = slot + 1
+            self._bank_requests[bank] += 1
+            counters.record(requester, slot - desired)
+            if slot > last_slot:
+                last_slot = slot
+        return last_slot + self.latency
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<MemoryPort {self.name!r} latency={self.latency} "
-            f"next_free={self.next_free_slot} requests={self.stats.requests}>"
+            f"banks={self.banks} next_free={self.next_free_slot} "
+            f"requests={self.counters.requests}>"
         )

@@ -33,6 +33,10 @@ class SystemConfig:
 
     ram_bytes: int = 1 << 20
     ram_latency: int = 2
+    #: Word-interleaved RAM banks; 1 = the paper's single-issue port.
+    banks: int = 1
+    #: HHT instances attached to the bus ("hht0", "hht1", ... when > 1).
+    n_hhts: int = 1
     cpu: CpuConfig = field(default_factory=CpuConfig)
     hht: HHTConfig = field(default_factory=HHTConfig)
     #: Optional L1D (the Section 3.2 high-performance integration);
@@ -44,6 +48,10 @@ class SystemConfig:
             raise ValueError(f"ram_bytes must be a positive multiple of 4")
         if self.ram_latency < 1:
             raise ValueError(f"ram_latency must be >= 1, got {self.ram_latency}")
+        if self.banks < 1:
+            raise ValueError(f"banks must be >= 1, got {self.banks}")
+        if self.n_hhts < 1:
+            raise ValueError(f"n_hhts must be >= 1, got {self.n_hhts}")
 
     @classmethod
     def paper_table1(cls, *, vlmax: int = 8, n_buffers: int = 2) -> "SystemConfig":
@@ -94,6 +102,8 @@ class SystemConfig:
         return cls(
             ram_bytes=int(nested.get("ram_bytes", cls.ram_bytes)),
             ram_latency=int(nested.get("ram_latency", cls.ram_latency)),
+            banks=int(nested.get("banks", cls.banks)),
+            n_hhts=int(nested.get("n_hhts", cls.n_hhts)),
             cpu=CpuConfig(latencies=latencies, **cpu_fields),
             hht=HHTConfig.from_dict(nested.get("hht", {})),
             cache=(
@@ -124,6 +134,10 @@ class SystemConfig:
                     else f"Size = {self.ram_bytes // 1024}KB"),
             ("", f"Latency = {self.ram_latency} cycles (pipelined)"),
         ]
+        if self.banks > 1:
+            lines.append(("", f"Banks = {self.banks} (word-interleaved)"))
+        if self.n_hhts > 1:
+            lines.append(("", f"HHT instances = {self.n_hhts}"))
         if self.cache is not None:
             lines.append(
                 ("L1D", f"{self.cache.size_bytes // 1024}KB, "

@@ -17,6 +17,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..component import (
+    SimComponent,
+    cache_stats_view,
+    hht_stats_view,
+    port_requests_view,
+    subtree,
+)
 from ..core.config import HHT_BASE, MMR
 from ..core.hht import HHT
 from ..cpu.core import Cpu, CpuStats
@@ -34,21 +41,61 @@ from .config import SystemConfig
 
 @dataclass
 class RunResult:
-    """Outcome of one program execution on the SoC."""
+    """Outcome of one program execution on the SoC.
+
+    Every counter lives in :attr:`stats`, the flat component-tree
+    registry (``{"soc.cpu.cycles": ..., "soc.ram.requests": ...}``).
+    The legacy per-component shapes (``cpu_stats``, ``hht_stats``,
+    ``port_requests``, ``cache_stats``) are *views* derived from the
+    registry — there is no duplicate bookkeeping.
+    """
 
     cycles: int
     instructions: int
-    cpu_stats: CpuStats
-    hht_stats: dict[str, int]
-    port_requests: dict[str, int]
+    stats: dict[str, int | float]
     frequency_hz: float
-    #: L1D statistics (hits/misses/writes/by_requester) when the system
-    #: is configured with a cache; None on the flat-SRAM MCU.
-    cache_stats: dict[str, object] | None = None
 
     @property
     def seconds(self) -> float:
         return self.cycles / self.frequency_hz
+
+    @property
+    def cpu_stats(self) -> CpuStats:
+        """The CPU's counters rebuilt as a :class:`CpuStats`."""
+        sub = subtree(self.stats, "soc.cpu")
+        out = CpuStats(
+            instructions=int(sub.get("instructions", 0)),
+            cycles=int(sub.get("cycles", 0)),
+            taken_branches=int(sub.get("taken_branches", 0)),
+        )
+        for key, value in sub.items():
+            parts = key.split(".")
+            if len(parts) != 2:
+                continue
+            group, leaf = parts
+            if group == "class_counts":
+                out.class_counts[leaf] = int(value)
+            elif group == "class_cycles":
+                out.class_cycles[leaf] = int(value)
+            elif group == "pc_counts":
+                out.pc_counts[int(leaf)] = int(value)
+            elif group == "pc_cycles":
+                out.pc_cycles[int(leaf)] = int(value)
+        return out
+
+    @property
+    def hht_stats(self) -> dict[str, int]:
+        """Legacy snapshot dict, summed over every attached HHT."""
+        return hht_stats_view(self.stats)
+
+    @property
+    def port_requests(self) -> dict[str, int]:
+        return port_requests_view(self.stats)
+
+    @property
+    def cache_stats(self) -> dict[str, object] | None:
+        """L1D statistics when a cache is configured; None on the MCU."""
+        return cache_stats_view(self.stats)
 
     @property
     def cpu_wait_cycles(self) -> int:
@@ -66,13 +113,30 @@ class RunResult:
         return self.hht_stats.get("hht_wait_cycles", 0)
 
 
-class Soc:
-    """The simulated heterogeneous CPU-HHT system."""
+class Soc(SimComponent):
+    """The simulated heterogeneous CPU-HHT system.
+
+    The SoC is the root of the component tree::
+
+        soc
+        ├── cpu                      (soc.cpu.*)
+        ├── bus (transparent)
+        │   └── mem (transparent)
+        │       ├── ram port         (soc.ram.*)
+        │       └── l1d, if cached   (soc.l1d.*)
+        └── hht[, hht0, hht1, ...]   (soc.hht.* / soc.hht<i>.*)
+
+    ``reset()`` propagates to every node; ``stats()`` flattens every
+    counter into the registry a :class:`RunResult` carries.
+    """
 
     def __init__(self, config: SystemConfig | None = None):
+        super().__init__("soc")
         self.config = config or SystemConfig()
         self.ram = Ram(self.config.ram_bytes)
-        self.port = MemoryPort(latency=self.config.ram_latency)
+        self.port = MemoryPort(
+            latency=self.config.ram_latency, banks=self.config.banks
+        )
         cache = (
             L1Cache(self.config.cache, self.port)
             if self.config.cache is not None
@@ -81,10 +145,29 @@ class Soc:
         self.bus = Bus(self.ram, self.port, cache=cache)
         self.cache = cache
         self.cpu = Cpu(self.bus, self.config.cpu)
-        self.hht = HHT(self.config.hht, self.ram, self.bus.mem)
-        self.bus.attach_device(HHT_BASE, MMR.REGION_SIZE, self.hht)
+        self.add_child(self.cpu)
+        self.add_child(self.bus)
+        # One HHT keeps the paper's names ("hht" component, "hht" port
+        # requester, unprefixed MMR symbols); more get an index each.
+        n_hhts = self.config.n_hhts
+        self.hhts: list[HHT] = []
+        for i in range(n_hhts):
+            name = "hht" if n_hhts == 1 else f"hht{i}"
+            hht = HHT(self.config.hht, self.ram, self.bus.mem, name=name)
+            self.bus.attach_device(
+                HHT_BASE + i * MMR.REGION_SIZE, MMR.REGION_SIZE, hht
+            )
+            self.add_child(hht)
+            self.hhts.append(hht)
+        self.hht = self.hhts[0]
         self.layout = MemoryLayout(self.ram, base=0x100)
         self._symbols: dict[str, int] = dict(_MMR_SYMBOLS)
+        for i in range(1, n_hhts):
+            base = HHT_BASE + i * MMR.REGION_SIZE
+            for sym, addr in _MMR_SYMBOLS.items():
+                self._symbols[f"{sym.replace('hht_', f'hht{i}_', 1)}"] = (
+                    addr - HHT_BASE + base
+                )
 
     # ------------------------------------------------------------------
     # Data placement
@@ -196,29 +279,13 @@ class Soc:
         return assemble(text, symbols=self.symbols, name=name)
 
     def run(self, program: Program, entry: int | str | None = None) -> RunResult:
-        self.cpu.reset()
-        self.bus.mem.reset()
-        self.hht.reset_stats()
-        stats = self.cpu.run(program, entry=entry)
-        cache_stats = None
-        if self.cache is not None:
-            cstats = self.cache.stats
-            cache_stats = {
-                "hits": cstats.hits,
-                "misses": cstats.misses,
-                "writes": cstats.writes,
-                "by_requester": {
-                    k: list(v) for k, v in cstats.by_requester.items()
-                },
-            }
+        self.reset()  # whole component tree: CPU, port, cache tags, HHTs
+        counters = self.cpu.run(program, entry=entry)
         return RunResult(
-            cycles=stats.cycles,
-            instructions=stats.instructions,
-            cpu_stats=stats,
-            hht_stats=self.hht.stats_snapshot(),
-            port_requests=dict(self.port.stats.by_requester),
+            cycles=counters.cycles,
+            instructions=counters.instructions,
+            stats=self.stats(),
             frequency_hz=self.config.cpu.frequency_hz,
-            cache_stats=cache_stats,
         )
 
     def read_output(self, name: str, count: int, dtype=np.float32) -> np.ndarray:

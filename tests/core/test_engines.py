@@ -151,7 +151,7 @@ class TestSpMSpVValueEngine:
             engine = SpMSpVValueEngine(HHTConfig(), port, 0, ram, regs)
             while not engine.exhausted:
                 engine.step()
-            return port.stats.requests
+            return port.counters.requests
 
         dense_v = SparseVector(4, [0, 1, 2, 3], [1.0, 1.0, 1.0, 1.0])
         empty_v = SparseVector(4, [], [])

@@ -108,7 +108,7 @@ class TestFIFOReads:
         _, completion = hht.read_word(MMR.VVAL_FIFO, 0)
         # Data cannot be ready at cycle 0: the fill needs memory round-trips.
         assert completion > 1
-        assert hht.stats.cpu_wait_cycles > 0
+        assert hht.counters.cpu_wait_cycles > 0
 
     def test_late_read_no_wait(self, machine, simple):
         ram, _, hht = machine
@@ -116,7 +116,7 @@ class TestFIFOReads:
         program_spmv(ram, hht, matrix, v, cycle=0)
         _, completion = hht.read_word(MMR.VVAL_FIFO, 1000)
         assert completion == 1000 + hht.config.fifo_read_latency
-        assert hht.stats.cpu_wait_cycles == 0
+        assert hht.counters.cpu_wait_cycles == 0
 
     def test_vector_read_pays_per_beat(self, machine, simple):
         ram, _, hht = machine
@@ -175,7 +175,7 @@ class TestStatistics:
         matrix, v = simple
         program_spmv(ram, hht, matrix, v)
         hht.read_burst(MMR.VVAL_FIFO, 3, 100)
-        assert port.stats.by_requester.get("hht", 0) > 0
+        assert port.counters.by_requester.get("hht", 0) > 0
 
 
 class TestRestart:

@@ -103,8 +103,8 @@ class TestProgrammableEngine:
         matrix, v = simple
         engine = make_engine(matrix, v)
         engine.step()
-        assert engine.port.stats.by_requester.get("hht", 0) > 0
-        assert engine.port.stats.by_requester.get("cpu", 0) == 0
+        assert engine.port.counters.by_requester.get("hht", 0) > 0
+        assert engine.port.counters.by_requester.get("cpu", 0) == 0
 
     def test_empty_matrix(self):
         matrix = CSRMatrix.empty((0, 4))

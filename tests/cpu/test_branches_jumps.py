@@ -123,4 +123,4 @@ class TestTimingEffects:
 
     def test_taken_branch_counted(self):
         cpu = run_asm("beq x0, x0, t\nt:")
-        assert cpu.stats.taken_branches == 1
+        assert cpu.counters.taken_branches == 1

@@ -30,8 +30,8 @@ class TestStepOne:
         cpu.prepare(assemble("nop\nnop\nhalt"))
         while cpu.step_one():
             pass
-        assert cpu.stats.instructions == 3
-        assert cpu.stats.cycles == cpu.cycle
+        assert cpu.counters.instructions == 3
+        assert cpu.counters.cycles == cpu.cycle
 
     def test_entry_label(self):
         cpu, _ = make_machine()

@@ -66,13 +66,13 @@ class TestMemoryTiming:
 class TestStatistics:
     def test_instruction_count(self):
         cpu = run_asm("nop\nnop\nnop")
-        assert cpu.stats.instructions == 4  # 3 nops + halt
+        assert cpu.counters.instructions == 4  # 3 nops + halt
 
     def test_class_counts(self):
         cpu = run_asm("add a0, a1, a2\nlw a3, 0x100(zero)\nmul a4, a1, a2")
-        assert cpu.stats.class_counts["int_alu"] == 1
-        assert cpu.stats.class_counts["scalar_load"] == 1
-        assert cpu.stats.class_counts["int_mul"] == 1
+        assert cpu.counters.class_counts["int_alu"] == 1
+        assert cpu.counters.class_counts["scalar_load"] == 1
+        assert cpu.counters.class_counts["int_mul"] == 1
 
     def test_class_cycles_sum_to_total(self):
         cpu = run_asm("""
@@ -82,11 +82,11 @@ class TestStatistics:
             addi a0, a0, -1
             bnez a0, loop
         """)
-        assert sum(cpu.stats.class_cycles.values()) == cpu.cycle
+        assert sum(cpu.counters.class_cycles.values()) == cpu.cycle
 
     def test_stats_cycles_matches_cpu_cycle(self):
         cpu = run_asm("nop")
-        assert cpu.stats.cycles == cpu.cycle
+        assert cpu.counters.cycles == cpu.cycle
 
 
 class TestConfigurableLatencies:
@@ -96,7 +96,7 @@ class TestConfigurableLatencies:
         lat = LatencyTable(int_alu=5)
         cpu = Cpu(bus, CpuConfig(latencies=lat))
         cpu.run(assemble("add a0, a1, a2\nhalt"))
-        assert cpu.stats.class_cycles["int_alu"] == 5
+        assert cpu.counters.class_cycles["int_alu"] == 5
 
     def test_invalid_vlmax_rejected(self):
         with pytest.raises(ValueError):
@@ -123,4 +123,4 @@ class TestReset:
         cpu.reset()
         assert cpu.x[10] == 0
         assert cpu.cycle == 0
-        assert cpu.stats.instructions == 0
+        assert cpu.counters.instructions == 0

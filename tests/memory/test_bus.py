@@ -89,7 +89,55 @@ class TestDeviceRouting:
     def test_device_access_does_not_use_ram_port(self, system):
         bus, _, _ = system
         bus.load_word(MMIO_BASE, cycle=0)
-        assert bus.port.stats.requests == 0
+        assert bus.port.counters.requests == 0
+
+
+class TestDeviceLookup:
+    """The bus bisects a sorted base list; cover every lookup regime."""
+
+    @pytest.fixture
+    def multi(self):
+        bus = Bus(Ram(4096), MemoryPort(latency=2))
+        devices = [StubDevice() for _ in range(3)]
+        # Attach out of order: the sorted insert must still route right.
+        bus.attach_device(MMIO_BASE + 0x400, 0x100, devices[2])
+        bus.attach_device(MMIO_BASE, 0x100, devices[0])
+        bus.attach_device(MMIO_BASE + 0x200, 0x100, devices[1])
+        return bus, devices
+
+    def test_bases_kept_sorted(self, multi):
+        bus, _ = multi
+        assert bus._device_bases == sorted(bus._device_bases)
+
+    @pytest.mark.parametrize("index,base_off", [(0, 0x0), (1, 0x200), (2, 0x400)])
+    def test_routes_to_correct_device(self, multi, index, base_off):
+        bus, devices = multi
+        bus.store_word(MMIO_BASE + base_off + 8, 77, cycle=0)
+        assert devices[index].writes == [(8, 77)]
+        for i, dev in enumerate(devices):
+            if i != index:
+                assert dev.writes == []
+
+    def test_last_word_of_region(self, multi):
+        bus, devices = multi
+        bus.store_word(MMIO_BASE + 0x2FC, 1, cycle=0)
+        assert devices[1].writes == [(0xFC, 1)]
+
+    def test_gap_between_devices_unmapped(self, multi):
+        bus, _ = multi
+        with pytest.raises(MemoryAccessError, match="no device"):
+            bus.load_word(MMIO_BASE + 0x100, cycle=0)
+
+    def test_below_first_device_unmapped(self):
+        bus = Bus(Ram(4096), MemoryPort(latency=2))
+        bus.attach_device(MMIO_BASE + 0x100, 0x10, StubDevice())
+        with pytest.raises(MemoryAccessError, match="no device"):
+            bus.load_word(MMIO_BASE + 0x50, cycle=0)
+
+    def test_past_last_device_unmapped(self, multi):
+        bus, _ = multi
+        with pytest.raises(MemoryAccessError, match="no device"):
+            bus.load_word(MMIO_BASE + 0x500, cycle=0)
 
 
 class TestAttachment:

@@ -32,8 +32,8 @@ class TestCacheBehaviour:
         hit = cache.read(0x104, cycle=miss)  # same 32B line
         assert miss > 1  # paid the line fill
         assert hit == miss + 1  # hit latency only
-        assert cache.stats.hits == 1
-        assert cache.stats.misses == 1
+        assert cache.counters.hits == 1
+        assert cache.counters.misses == 1
 
     def test_line_granularity(self, cache):
         cache.read(0x100, 0)
@@ -62,7 +62,7 @@ class TestCacheBehaviour:
     def test_write_through_does_not_allocate(self, cache):
         cache.write(0x200, 0)
         assert not cache.contains(0x200)
-        assert cache.stats.writes == 1
+        assert cache.counters.writes == 1
 
     def test_write_keeps_line_warm(self, cache):
         cache.read(0x200, 0)
@@ -72,25 +72,25 @@ class TestCacheBehaviour:
 
     def test_miss_uses_port_bandwidth(self, cache):
         cache.read(0x100, 0)
-        assert cache.port.stats.requests == cache.config.line_words
+        assert cache.port.counters.requests == cache.config.line_words
 
     def test_stats_by_requester(self, cache):
         cache.read(0x100, 0, "cpu")
         cache.read(0x100, 10, "hht")
-        assert cache.stats.by_requester["cpu"] == [0, 1]  # [hits, misses]
-        assert cache.stats.by_requester["hht"] == [1, 0]
+        assert cache.counters.by_requester["cpu"] == [0, 1]  # [hits, misses]
+        assert cache.counters.by_requester["hht"] == [1, 0]
 
     def test_hit_rate(self, cache):
         cache.read(0x100, 0)
         cache.read(0x100, 10)
         cache.read(0x100, 20)
-        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+        assert cache.counters.hit_rate == pytest.approx(2 / 3)
 
     def test_reset(self, cache):
         cache.read(0x100, 0)
         cache.reset()
         assert not cache.contains(0x100)
-        assert cache.stats.accesses == 0
+        assert cache.counters.accesses == 0
 
 
 class TestMemorySystem:
@@ -112,9 +112,9 @@ class TestMemorySystem:
     def test_cached_seq_touches_lines(self, cache):
         mem = MemorySystem(cache.port, cache)
         mem.read_seq(0x100, 16, 0, "cpu")  # 64 bytes -> two lines
-        assert cache.stats.misses == 2
+        assert cache.counters.misses == 2
         mem.read_seq(0x100, 16, 100, "cpu")
-        assert cache.stats.hits == 2
+        assert cache.counters.hits == 2
 
     def test_zero_words_noop(self, cache):
         mem = MemorySystem(cache.port, cache)
@@ -125,8 +125,8 @@ class TestMemorySystem:
         mem = MemorySystem(cache.port, cache)
         mem.read(0x100, 0, "cpu")
         mem.reset()
-        assert cache.stats.accesses == 0
-        assert cache.port.stats.requests == 0
+        assert cache.counters.accesses == 0
+        assert cache.port.counters.requests == 0
 
 
 class TestCachedSystem:
@@ -179,6 +179,6 @@ class TestCachedSystem:
         soc.allocate_output(matrix.nrows)
         from repro.kernels import spmv_hht_vector
         soc.run(soc.assemble(spmv_hht_vector()))
-        hht_stats = soc.cache.stats.by_requester.get("hht")
+        hht_stats = soc.cache.counters.by_requester.get("hht")
         assert hht_stats is not None
         assert hht_stats[0] > 0  # the HHT's gathers hit the cache

@@ -1,0 +1,79 @@
+"""SystemConfig flattening, content addressing, and topology fields."""
+
+import pytest
+
+from repro.memory import CacheConfig
+from repro.system import SystemConfig
+
+
+class TestTopologyFields:
+    def test_defaults_are_paper_table1(self):
+        cfg = SystemConfig()
+        assert cfg.banks == 1
+        assert cfg.n_hhts == 1
+
+    @pytest.mark.parametrize("field,value", [("banks", 0), ("n_hhts", 0)])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SystemConfig(**{field: value})
+
+    def test_describe_mentions_topology_only_when_nondefault(self):
+        assert "Banks" not in SystemConfig().describe()
+        cfg = SystemConfig(banks=4, n_hhts=2)
+        text = cfg.describe()
+        assert "Banks = 4" in text
+        assert "HHT instances = 2" in text
+
+
+class TestFlatRoundTrip:
+    def test_flat_contains_topology_keys(self):
+        flat = SystemConfig(banks=4, n_hhts=2).to_flat()
+        assert flat["banks"] == 4
+        assert flat["n_hhts"] == 2
+
+    def test_round_trip_preserves_topology(self):
+        cfg = SystemConfig(banks=8, n_hhts=3)
+        cfg.ram_latency = 5
+        thawed = SystemConfig.from_flat(cfg.to_flat())
+        assert thawed == cfg
+        assert thawed.banks == 8
+        assert thawed.n_hhts == 3
+
+    def test_round_trip_with_cache(self):
+        cfg = SystemConfig(banks=2, cache=CacheConfig())
+        assert SystemConfig.from_flat(cfg.to_flat()) == cfg
+
+    def test_legacy_flat_dicts_still_thaw(self):
+        # Flat dicts frozen before the topology fields existed carry no
+        # banks/n_hhts keys; they must thaw to the paper defaults.
+        flat = SystemConfig().to_flat()
+        del flat["banks"]
+        del flat["n_hhts"]
+        cfg = SystemConfig.from_flat(flat)
+        assert cfg.banks == 1
+        assert cfg.n_hhts == 1
+        assert cfg == SystemConfig()
+
+
+class TestContentKey:
+    def test_stable_across_instances(self):
+        assert SystemConfig(banks=4).content_key() == SystemConfig(banks=4).content_key()
+
+    @pytest.mark.parametrize("mutation", [
+        dict(banks=4),
+        dict(n_hhts=2),
+        dict(ram_latency=9),
+        dict(cache=CacheConfig()),
+    ])
+    def test_any_field_changes_the_key(self, mutation):
+        assert (SystemConfig(**mutation).content_key()
+                != SystemConfig().content_key())
+
+    def test_banks_and_hhts_keys_distinct(self):
+        keys = {
+            SystemConfig().content_key(),
+            SystemConfig(banks=4).content_key(),
+            SystemConfig(n_hhts=2).content_key(),
+            SystemConfig(banks=4, n_hhts=2).content_key(),
+        }
+        assert len(keys) == 4
