@@ -77,3 +77,70 @@ def test_mmio_fifo_pop_speed(benchmark, record_table):
     # Same spirit as I1: only catastrophic regressions in the bus
     # routing / FIFO pop path should trip this.
     assert pops_per_second > 2_000
+
+
+def test_probe_hook_overhead(record_table):
+    """I3 — the probe hook chain must be free when nobody subscribes.
+
+    The unified SimSession loop replaced the old dedicated profile /
+    non-profile loops with one body that tests a hook tuple per
+    instruction.  This gate holds that design to its promise: running
+    with a probe that overrides *nothing* (empty hook chains, same
+    fast path) may cost at most 5% over a bare run.  A probe that does
+    subscribe to on_instruction is timed too, informationally — that
+    cost is expected and not gated.
+    """
+    import time
+
+    from repro.instrument import Probe
+
+    class NoOpProbe(Probe):
+        """Overrides no hook: the loop must take the no-hooks branch."""
+
+    class CountingProbe(Probe):
+        def __init__(self):
+            self.n = 0
+
+        def on_instruction(self, pc, ins, cycle_start, cycle_end):
+            self.n += 1
+
+    variants = {
+        "bare": lambda: (),
+        "noop_probe": lambda: (NoOpProbe(),),
+        "counting_probe": lambda: (CountingProbe(),),
+    }
+
+    rounds = 7
+    best = {name: float("inf") for name in variants}
+    instructions = {}
+    # Interleave the variants within each round so drift in host load
+    # (CI neighbours, thermal throttling) hits all of them equally.
+    for _ in range(rounds):
+        for name, make_probes in variants.items():
+            soc, program = _spmv_setup(size=48)
+            probes = make_probes()
+            start = time.perf_counter()
+            result = soc.run(program, probes=probes)
+            elapsed = time.perf_counter() - start
+            best[name] = min(best[name], elapsed)
+            instructions[name] = result.instructions
+
+    # Identical work per variant, or the comparison is meaningless.
+    assert len(set(instructions.values())) == 1
+
+    overhead = {
+        name: best[name] / best["bare"] - 1.0 for name in variants
+    }
+    table = Table(
+        "probe hook overhead (48x48 SpMV baseline, best of "
+        f"{rounds} interleaved rounds)",
+        ["variant", "best_seconds", "overhead_vs_bare"],
+    )
+    for name in variants:
+        table.add_row(name, best[name], f"{overhead[name]:+.1%}")
+    record_table(table, "probe_hook_overhead")
+
+    assert overhead["noop_probe"] <= 0.05, (
+        f"empty hook chain costs {overhead['noop_probe']:+.1%} "
+        "(gate: +5.0%) — the no-probe fast path has regressed"
+    )

@@ -37,6 +37,7 @@ __all__ = [
     "core",
     "cpu",
     "formats",
+    "instrument",
     "isa",
     "kernels",
     "memory",

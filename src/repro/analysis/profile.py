@@ -3,8 +3,9 @@
 The paper's Section 2 (and its EXPRESS predecessor [23]) motivates the
 HHT by quantifying *metadata overhead* — the cycles a sparse kernel
 spends locating non-zeros rather than computing on them.  This module
-measures that directly on the simulator: the CPU's profiling mode
-attributes cycles to instruction indices, and kernel instructions tagged
+measures that directly on the simulator: a
+:class:`~repro.instrument.PcProfileProbe` attributes cycles to
+instruction indices, and kernel instructions tagged
 ``[meta]`` (the column-index loads, index arithmetic and indexed
 gathers) are summed into the overhead share the HHT would remove.
 """
@@ -16,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..formats.csr import CSRMatrix
+from ..instrument.probes import PcProfileProbe
 from ..isa.program import Program
 from ..kernels.spmspv import spmspv_kernel
 from ..kernels.spmv import spmv_kernel
@@ -80,12 +82,8 @@ class KernelProfile:
 
 
 def profile_program(soc: Soc, program: Program) -> KernelProfile:
-    """Run *program* with per-instruction profiling enabled."""
-    soc.cpu.profile = True
-    try:
-        result = soc.run(program)
-    finally:
-        soc.cpu.profile = False
+    """Run *program* with a per-instruction profiling probe attached."""
+    result = soc.run(program, probes=(PcProfileProbe(),))
     stats = result.cpu_stats
     total = max(result.cycles, 1)
     lines = [

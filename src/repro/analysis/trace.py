@@ -1,49 +1,23 @@
 """Instruction-level execution tracing (kernel debugging aid).
 
-``trace_program`` single-steps a program on a Soc and records one
-:class:`TraceEntry` per executed instruction — index, mnemonic, cycle
-interval, and the destination register's value after the write.  Traces
-can be bounded (``limit``), filtered (``only`` mnemonics) and rendered
-as text, which is how the assembly kernels in this repository were
-debugged.
+``trace_program`` runs a program inside a
+:class:`~repro.instrument.SimSession` with a
+:class:`~repro.instrument.TraceProbe` attached and returns its
+:class:`TraceEntry` list — index, mnemonic, cycle interval, and the
+destination register's value after the write.  Traces can be bounded
+(``limit``), filtered (``only`` mnemonics) and rendered as text, which
+is how the assembly kernels in this repository were debugged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from ..cpu.core import _s32
+from ..instrument.probes import TraceEntry, TraceProbe
+from ..instrument.render import render_trace
+from ..instrument.session import SimSession
 from ..isa.program import Program
 from ..system.soc import Soc
 
-
-@dataclass
-class TraceEntry:
-    """One executed instruction."""
-
-    seq: int            # execution order
-    index: int          # instruction index (PC / 4)
-    op: str
-    text: str
-    cycle_start: int
-    cycle_end: int
-    rd_value: int | float | None  # destination value after execution
-
-    @property
-    def cycles(self) -> int:
-        return self.cycle_end - self.cycle_start
-
-    def render(self) -> str:
-        value = ""
-        if self.rd_value is not None:
-            if isinstance(self.rd_value, float):
-                value = f" -> {self.rd_value:.6g}"
-            else:
-                value = f" -> {self.rd_value:#x}"
-        return (
-            f"{self.seq:>6}  @{self.index:<5} {self.text:<32} "
-            f"[{self.cycle_start}..{self.cycle_end}]{value}"
-        )
+__all__ = ["TraceEntry", "trace_program", "render_trace"]
 
 
 def trace_program(
@@ -60,47 +34,7 @@ def trace_program(
     recorded entries — partial traces leave the Soc mid-program, so use
     a fresh Soc for timing measurements afterwards.
     """
-    cpu = soc.cpu
     soc.reset()  # the whole component tree, cache tags included
-    cpu.prepare(program)
-
-    entries: list[TraceEntry] = []
-    seq = 0
-    while len(entries) < limit:
-        pc = cpu._step_pc
-        ins = program[pc]
-        start = cpu.cycle
-        alive = cpu.step_one()
-        seq += 1
-        if only is None or ins.op in only:
-            rd_value: int | float | None = None
-            if ins.rd is not None and not ins.op.startswith("v"):
-                # Destination is a float register unless the op moves or
-                # compares into the integer file.
-                writes_float = ins.op.startswith("f") and not ins.op.startswith(
-                    ("fcvt.w", "fmv.x", "feq", "flt", "fle")
-                )
-                if writes_float:
-                    rd_value = float(cpu.f[ins.rd])
-                else:
-                    rd_value = _s32(cpu.x[ins.rd])
-            entries.append(
-                TraceEntry(
-                    seq=seq,
-                    index=pc,
-                    op=ins.op,
-                    text=ins.text or ins.op,
-                    cycle_start=start,
-                    cycle_end=cpu.cycle,
-                    rd_value=rd_value,
-                )
-            )
-        if not alive:
-            break
-    return entries
-
-
-def render_trace(entries: list[TraceEntry]) -> str:
-    """Render a trace as text, one line per entry."""
-    header = f"{'seq':>6}  {'pc':<6} {'instruction':<32} [cycles] -> value"
-    return "\n".join([header] + [e.render() for e in entries])
+    probe = TraceProbe(limit=limit, only=only)
+    SimSession(soc.cpu, program, probes=(probe,), system=soc).run()
+    return probe.entries

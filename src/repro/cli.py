@@ -11,6 +11,11 @@ Commands:
 * ``corpus`` — list (or rebuild) the bundled .mtx corpus.
 * ``validate`` — fast self-check of every paper claim (exit 1 on failure).
 * ``stats`` — run one workload and list every stats-registry counter.
+* ``trace`` — run one workload with a TraceProbe and print the
+  instruction trace.
+* ``timeline`` — run one workload with Timeline/Contention probes and
+  print (or dump as JSON) the HHT buffer-fill timeline and the shared
+  port's contention histogram.
 """
 
 from __future__ import annotations
@@ -121,6 +126,36 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="add the Section 3.2 L1D in front of the RAM")
     stats.add_argument("--json", action="store_true",
                        help="emit the registry as JSON")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one workload and print its instruction trace",
+    )
+    trace.add_argument("--kernel", choices=("spmv", "spmv-baseline", "spmspv"),
+                       default="spmv")
+    trace.add_argument("--size", type=int, default=16)
+    trace.add_argument("--sparsity", type=float, default=0.5)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--limit", type=int, default=200,
+                       help="stop after this many recorded entries")
+    trace.add_argument("--only", default=None, metavar="OPS",
+                       help="comma-separated mnemonics to record "
+                            "(e.g. 'flw,vle32.v')")
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="run one workload and print the HHT buffer-fill timeline "
+             "and port contention histogram",
+    )
+    timeline.add_argument("--kernel", choices=("spmv", "spmv-baseline", "spmspv"),
+                          default="spmv")
+    timeline.add_argument("--size", type=int, default=16)
+    timeline.add_argument("--sparsity", type=float, default=0.5)
+    timeline.add_argument("--seed", type=int, default=0)
+    timeline.add_argument("--bin", type=int, default=64, dest="bin_cycles",
+                          help="contention histogram bin width in cycles")
+    timeline.add_argument("--json", action="store_true",
+                          help="emit the probe payloads as JSON")
 
     return parser
 
@@ -276,6 +311,93 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _workload_program(args):
+    """Build the (soc, program) pair the trace/timeline commands run.
+
+    Mirrors the single-kernel runners: paper Table-1 system, synthetic
+    operands from the given seed, HHT-assisted kernel unless the
+    baseline was requested.
+    """
+    from .analysis.runners import _make_soc, _required_ram
+    from .kernels.spmspv import spmspv_kernel
+    from .kernels.spmv import spmv_kernel
+    from .workloads import random_csr, random_dense_vector, random_sparse_vector
+
+    n = args.size
+    matrix = random_csr((n, n), args.sparsity, seed=args.seed)
+    if args.kernel == "spmspv":
+        sv = random_sparse_vector(n, args.sparsity, seed=args.seed + 1)
+        soc = _make_soc(
+            vlmax=8, n_buffers=2, config=None,
+            ram_bytes=_required_ram(matrix, extra_words=3 * sv.n),
+        )
+        soc.load_csr(matrix)
+        soc.load_sparse_vector(sv)
+        soc.allocate_output(matrix.nrows)
+        program = soc.assemble(
+            spmspv_kernel(mode="hht_v2", vector=True), name="spmspv_hht_v2"
+        )
+    else:
+        hht = args.kernel == "spmv"
+        v = random_dense_vector(n, seed=args.seed + 1)
+        soc = _make_soc(
+            vlmax=8, n_buffers=2, config=None, ram_bytes=_required_ram(matrix),
+        )
+        soc.load_csr(matrix)
+        soc.load_dense_vector(v)
+        soc.allocate_output(matrix.nrows)
+        program = soc.assemble(
+            spmv_kernel(hht=hht, vector=True),
+            name=f"spmv_{'hht' if hht else 'baseline'}",
+        )
+    return soc, program
+
+
+def _cmd_trace(args) -> int:
+    """Trace one workload's execution, instruction by instruction."""
+    from .analysis.trace import render_trace, trace_program
+
+    soc, program = _workload_program(args)
+    only = None
+    if args.only:
+        only = {op.strip() for op in args.only.split(",") if op.strip()}
+    entries = trace_program(soc, program, limit=args.limit, only=only)
+    print(f"{program.name}: {len(entries)} entries "
+          f"(limit {args.limit}"
+          + (f", only {sorted(only)}" if only else "") + ")")
+    print(render_trace(entries))
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    """Run one workload under timeline + contention probes."""
+    import json
+
+    from .instrument import ContentionProbe, TimelineProbe, render_timeline
+
+    soc, program = _workload_program(args)
+    probes = (TimelineProbe(), ContentionProbe(bin_cycles=args.bin_cycles))
+    result = soc.run(program, probes=probes)
+    if args.json:
+        print(json.dumps(
+            {
+                "program": program.name,
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "probes": result.probe_payloads,
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"{program.name}: {result.cycles:,} cycles, "
+          f"{result.instructions:,} instructions")
+    print(render_timeline(
+        result.probe_payloads["timeline"],
+        result.probe_payloads["contention"],
+    ))
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "spmv": _cmd_spmv,
@@ -285,6 +407,8 @@ _COMMANDS = {
     "corpus": _cmd_corpus,
     "validate": _cmd_validate,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
+    "timeline": _cmd_timeline,
 }
 
 

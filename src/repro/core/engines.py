@@ -51,6 +51,9 @@ class BackEndEngine:
         self.wait_for_buffer_cycles = 0
         self.buffers_filled = 0
         self.streams: dict[str, BufferedStream] = {}
+        # Event sink for buffer_fill events; installed by the owning HHT
+        # at START when a SimSession probe subscribed (None otherwise).
+        self.probe_sink = None
 
     def _make_stream(self, name: str, n_buffers: int, buffer_elems: int) -> BufferedStream:
         stream = BufferedStream(name, n_buffers, buffer_elems)
@@ -77,6 +80,7 @@ class BackEndEngine:
         """
         if self.exhausted:
             return
+        sink = self.probe_sink
         while not self.exhausted and self.capacity_ok():
             if self.blocked_since is not None:
                 resume = max(self.blocked_since, now)
@@ -84,6 +88,8 @@ class BackEndEngine:
                 self.time = max(self.time, resume)
                 self.blocked_since = None
             self.step()
+            if sink is not None:
+                sink.buffer_fill(self)
         if not self.exhausted and self.blocked_since is None:
             self.blocked_since = self.time
 

@@ -96,6 +96,11 @@ class HHT(SimComponent):
         self.firmware = None  # Program for PROGRAMMABLE mode
         self.helper_config = None
         self.counters = HHTStats()
+        # Event sink for fifo_read events, propagated to the engine at
+        # START for its buffer_fill events.  Installed by a SimSession
+        # when a probe subscribed; the session owns the lifecycle, so
+        # reset() leaves it alone.
+        self.probe_sink = None
 
     def _reset_local(self) -> None:
         """Clear counters and drop the finished engine (regs and firmware
@@ -199,6 +204,7 @@ class HHT(SimComponent):
                 self.config, self.mem, cycle, self.ram, self.regs,
                 self.firmware, self.helper_config, requester=self.name,
             )
+            self.engine.probe_sink = self.probe_sink
             self.counters.starts += 1
             self.engine.pump(cycle)
             return
@@ -207,6 +213,7 @@ class HHT(SimComponent):
             self.config, self.mem, cycle, self.ram, self.regs,
             requester=self.name,
         )
+        self.engine.probe_sink = self.probe_sink
         self.counters.starts += 1
         # Prefetch: the BE begins filling buffers immediately (Section 3.1,
         # "N >= 2 permits the HHT to prefetch and store buffers ahead").
@@ -259,6 +266,9 @@ class HHT(SimComponent):
         self.counters.elements_supplied += count
         stream.stats.reads += 1
         stream.stats.cpu_wait_cycles += wait
+        sink = self.probe_sink
+        if sink is not None:
+            sink.fifo_read(self.name, stream_name, cycle, wait, count)
         return values, completion
 
     # ------------------------------------------------------------------

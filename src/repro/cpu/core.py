@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..component import SimComponent, StatsDict
+from ..isa.encoding import s32
 from ..isa.instructions import INSTRUCTION_CLASS, Instr
 from ..isa.program import Program
 from ..memory.bus import Bus
@@ -32,10 +33,9 @@ _UNPACK_I = struct.Struct("<i").unpack
 _PACK_I = struct.Struct("<i").pack
 _UNPACK_F = struct.Struct("<f").unpack
 
-
-def _s32(value: int) -> int:
-    """Wrap an int to signed 32-bit two's complement."""
-    return ((value + 0x80000000) & _U32) - 0x80000000
+# Local alias for the public repro.isa.encoding.s32 (the handlers below
+# call it on every ALU result).
+_s32 = s32
 
 
 def _f32bits(value: float) -> int:
@@ -119,94 +119,35 @@ class Cpu(SimComponent):
         return out
 
     # ------------------------------------------------------------------
-    # Execution loop
+    # Execution (both entry points are views of one SimSession — the
+    # single canonical interpreter loop lives in repro.instrument).
     # ------------------------------------------------------------------
-    def run(self, program: Program, entry: int | str | None = None) -> CpuStats:
+    def run(self, program: Program, entry: int | str | None = None,
+            probes: tuple = ()) -> CpuStats:
         """Execute *program* until ``halt``; returns the run's statistics."""
-        if isinstance(entry, str):
-            pc = program.entry_index(entry)
-        else:
-            pc = int(entry or 0)
-        dispatch = self._dispatch
-        try:
-            code = [(dispatch[ins.op], ins) for ins in program.instructions]
-        except KeyError as exc:  # pragma: no cover - table kept in sync
-            raise SimulationError(f"no handler for mnemonic {exc}") from None
+        from ..instrument.session import SimSession
 
-        self.halted = False
-        n = len(code)
-        budget = self.config.max_instructions
-        stats = self.counters
-        executed = stats.instructions
-        limit = executed + budget
-        if self.profile:
-            pc_counts, pc_cycles = stats.pc_counts, stats.pc_cycles
-            while not self.halted:
-                if not 0 <= pc < n:
-                    raise SimulationError(
-                        f"PC out of range: {pc} (program {program.name})"
-                    )
-                handler, ins = code[pc]
-                before = self.cycle
-                next_pc = handler(ins, pc)
-                pc_counts[pc] = pc_counts.get(pc, 0) + 1
-                pc_cycles[pc] = pc_cycles.get(pc, 0) + self.cycle - before
-                pc = next_pc
-                executed += 1
-                if executed >= limit:
-                    raise SimulationError(
-                        f"instruction budget of {budget} exhausted in {program.name}"
-                    )
-        else:
-            while not self.halted:
-                if not 0 <= pc < n:
-                    raise SimulationError(
-                        f"PC out of range: {pc} (program {program.name})"
-                    )
-                handler, ins = code[pc]
-                pc = handler(ins, pc)
-                executed += 1
-                if executed >= limit:
-                    raise SimulationError(
-                        f"instruction budget of {budget} exhausted in {program.name}"
-                    )
-        stats.instructions = executed
-        stats.cycles = self.cycle
-        return stats
+        return SimSession(self, program, entry=entry, probes=probes).run()
 
-    # ------------------------------------------------------------------
-    # Single-step interface (used by the programmable HHT's helper core,
-    # which must interleave with the rest of the system event by event).
-    # ------------------------------------------------------------------
     def prepare(self, program: Program, entry: int | str | None = None) -> None:
-        """Load *program* for incremental execution via :meth:`step_one`."""
-        if isinstance(entry, str):
-            self._step_pc = program.entry_index(entry)
-        else:
-            self._step_pc = int(entry or 0)
-        dispatch = self._dispatch
-        self._step_code = [(dispatch[ins.op], ins) for ins in program.instructions]
-        self._step_name = program.name
-        self.halted = False
+        """Load *program* for incremental execution via :meth:`step_one`.
+
+        Used by the programmable HHT's helper core, which must interleave
+        with the rest of the system event by event under an external
+        clock (the engine mutates ``cycle`` between steps).
+        """
+        from ..instrument.session import SimSession
+
+        self._session = SimSession(self, program, entry=entry)
 
     def step_one(self) -> bool:
         """Execute one instruction; returns False once halted."""
-        if self.halted:
-            return False
-        code = self._step_code
-        pc = self._step_pc
-        if not 0 <= pc < len(code):
-            raise SimulationError(f"PC out of range: {pc} (program {self._step_name})")
-        handler, ins = code[pc]
-        self._step_pc = handler(ins, pc)
-        self.counters.instructions += 1
-        if self.counters.instructions >= self.config.max_instructions:
-            raise SimulationError(
-                f"instruction budget of {self.config.max_instructions} "
-                f"exhausted in {self._step_name}"
-            )
-        self.counters.cycles = self.cycle
-        return not self.halted
+        return self._session.step()
+
+    @property
+    def _step_pc(self) -> int:
+        """Next instruction index of the prepared session (debug aid)."""
+        return self._session._pc
 
     def _build_dispatch(self) -> dict[str, object]:
         table: dict[str, object] = {}

@@ -1,0 +1,33 @@
+"""Instrumentation layer: the canonical run path and its probes.
+
+:class:`SimSession` is the single interpreter loop every execution path
+goes through (``Soc.run``, ``Cpu.run``, single-stepping, tracing,
+profiling); :class:`Probe` subclasses observe it through per-event hook
+chains that cost nothing when empty.  See ``docs/architecture.md``,
+section "Instrumentation / probes".
+"""
+
+from .probes import (
+    ContentionProbe,
+    PcProfileProbe,
+    Probe,
+    ProbeHalt,
+    TimelineProbe,
+    TraceEntry,
+    TraceProbe,
+)
+from .render import render_timeline, render_trace
+from .session import SimSession
+
+__all__ = [
+    "SimSession",
+    "Probe",
+    "ProbeHalt",
+    "TraceEntry",
+    "TraceProbe",
+    "PcProfileProbe",
+    "TimelineProbe",
+    "ContentionProbe",
+    "render_trace",
+    "render_timeline",
+]

@@ -1,0 +1,68 @@
+"""Text rendering for probe payloads (the ``repro timeline`` command)."""
+
+from __future__ import annotations
+
+from .probes import TraceEntry
+
+
+def render_trace(entries: list[TraceEntry]) -> str:
+    """Render a trace as text, one line per entry."""
+    header = f"{'seq':>6}  {'pc':<6} {'instruction':<32} [cycles] -> value"
+    return "\n".join([header] + [e.render() for e in entries])
+
+
+def render_timeline(timeline: dict, contention: dict | None = None) -> str:
+    """Render a :class:`TimelineProbe` payload (and optionally a
+    :class:`ContentionProbe` payload) as text."""
+    lines: list[str] = []
+    fills = timeline.get("fills", [])
+    reads = timeline.get("fifo_reads", [])
+    lines.append(f"buffer fills ({len(fills)}):")
+    lines.append(f"{'t':>8}  {'hht':<6} {'fills':>5}  stream occupancy")
+    for fill in fills:
+        occ = "  ".join(
+            f"{name}={s['occupied_slots']}slots/{s['unconsumed']}elems"
+            for name, s in fill["streams"].items()
+        )
+        lines.append(
+            f"{fill['t']:>8}  {fill['hht']:<6} "
+            f"{fill['buffers_filled']:>5}  {occ}"
+        )
+    total_wait = sum(r["wait"] for r in reads)
+    stalled = sum(1 for r in reads if r["wait"])
+    lines.append(
+        f"fifo reads: {len(reads)} "
+        f"({stalled} stalled, {total_wait} wait cycles total)"
+    )
+    for read in reads:
+        if read["wait"]:
+            lines.append(
+                f"{read['cycle']:>8}  {read['hht']:<6} "
+                f"pop {read['count']} from {read['stream']!r} "
+                f"waited {read['wait']}"
+            )
+    if contention:
+        size = contention["bin_cycles"]
+        lines.append("")
+        lines.append(f"port issue histogram (bins of {size} cycles):")
+        all_bins = sorted(
+            {b for bins in contention["bins"].values() for b in bins}
+        )
+        requesters = sorted(contention["bins"])
+        header = f"{'cycles':>16}" + "".join(f"{r:>10}" for r in requesters)
+        lines.append(header)
+        for b in all_bins:
+            row = f"{b * size:>7}..{(b + 1) * size - 1:<7}"
+            row += "".join(
+                f"{contention['bins'][r].get(b, 0):>10}" for r in requesters
+            )
+            lines.append(row)
+        totals = f"{'total':>16}" + "".join(
+            f"{contention['requests'].get(r, 0):>10}" for r in requesters
+        )
+        lines.append(totals)
+        waits = f"{'queue cycles':>16}" + "".join(
+            f"{contention['queue_cycles'].get(r, 0):>10}" for r in requesters
+        )
+        lines.append(waits)
+    return "\n".join(lines)

@@ -1,0 +1,253 @@
+"""The one canonical execution path: :class:`SimSession`.
+
+Every way of running a program on the simulated machine — ``Soc.run``,
+``Cpu.run``, the ``prepare``/``step_one`` single-stepper the
+programmable HHT's helper core uses, ``trace_program`` and
+``profile_program`` — is one ``SimSession``: resolve the entry point,
+pre-bind the handlers, then drive a single interpreter loop.  What used
+to be forked loops (profiling, tracing) is now a chain of per-event
+hooks contributed by :class:`~repro.instrument.probes.Probe` objects.
+
+The hook chains are built from *overridden* probe methods only, and the
+loop skips all hook bookkeeping when the chain is empty, so a session
+with no probes attached executes the same work per instruction as the
+old dedicated loop — bit-identical cycles, and (by CI gate) within a
+few percent of its dispatch rate.
+
+Memory-side events (port issues, buffer fills, FIFO pops) are published
+by their components through a ``probe_sink`` attribute: ``None`` by
+default (one ``is None`` test per event), set by the session for the
+duration of the run when some probe subscribed.
+"""
+
+from __future__ import annotations
+
+from ..core.hht import HHT
+from ..cpu.core import Cpu, CpuStats, SimulationError
+from ..isa.program import Program
+from ..memory.port import MemoryPort
+from .probes import PcProfileProbe, Probe, ProbeHalt
+
+
+def _overridden(probe: Probe, method: str):
+    """The bound hook if *probe*'s class overrides *method*, else None."""
+    if getattr(type(probe), method) is getattr(Probe, method):
+        return None
+    return getattr(probe, method)
+
+
+def _hooks(probes, method: str) -> tuple:
+    return tuple(
+        hook for hook in (_overridden(p, method) for p in probes)
+        if hook is not None
+    )
+
+
+class _EventSink:
+    """Fan-out target installed on components' ``probe_sink`` slots."""
+
+    __slots__ = ("_port_hooks", "_fill_hooks", "_fifo_hooks")
+
+    def __init__(self, port_hooks, fill_hooks, fifo_hooks):
+        self._port_hooks = port_hooks
+        self._fill_hooks = fill_hooks
+        self._fifo_hooks = fifo_hooks
+
+    def port_issue(self, port, requester, slot, count, waited):
+        for hook in self._port_hooks:
+            hook(port, requester, slot, count, waited)
+
+    def buffer_fill(self, engine):
+        for hook in self._fill_hooks:
+            hook(engine)
+
+    def fifo_read(self, hht, stream, cycle, wait, count):
+        for hook in self._fifo_hooks:
+            hook(hht, stream, cycle, wait, count)
+
+
+def _walk(component):
+    yield component
+    for child in component.children:
+        yield from _walk(child)
+
+
+class SimSession:
+    """One program execution: entry resolution, hook chain, run loop.
+
+    ``system`` (usually the owning :class:`~repro.system.soc.Soc`) is
+    the component tree searched for memory ports and HHTs when a probe
+    subscribed to their events; without it the CPU's bus subtree is
+    used, so CPU-side port traffic is still observable on a bare core.
+    """
+
+    def __init__(self, cpu: Cpu, program: Program, *,
+                 entry: int | str | None = None,
+                 probes: tuple[Probe, ...] = (),
+                 system=None):
+        self.cpu = cpu
+        self.program = program
+        self.system = system
+        probe_list = list(probes)
+        # The legacy Cpu.profile flag is honoured by auto-attaching the
+        # probe that implements it.
+        if cpu.profile and not any(
+            isinstance(p, PcProfileProbe) for p in probe_list
+        ):
+            probe_list.append(PcProfileProbe())
+        self.probes: tuple[Probe, ...] = tuple(probe_list)
+
+        if isinstance(entry, str):
+            self._pc = program.entry_index(entry)
+        else:
+            self._pc = int(entry or 0)
+        dispatch = cpu._dispatch
+        try:
+            self._code = [
+                (dispatch[ins.op], ins) for ins in program.instructions
+            ]
+        except KeyError as exc:  # pragma: no cover - table kept in sync
+            raise SimulationError(f"no handler for mnemonic {exc}") from None
+        cpu.halted = False
+
+        self._instr_hooks = _hooks(self.probes, "on_instruction")
+        self._port_hooks = _hooks(self.probes, "on_port_issue")
+        self._fill_hooks = _hooks(self.probes, "on_buffer_fill")
+        self._fifo_hooks = _hooks(self.probes, "on_fifo_read")
+        self._attached: list = []
+        # Lifecycle notification is lazy so the step() path gets it too.
+        self._started = not self.probes
+
+    # ------------------------------------------------------------------
+    # Error construction (the single source of both messages)
+    # ------------------------------------------------------------------
+    def _pc_error(self, pc: int) -> SimulationError:
+        return SimulationError(
+            f"PC out of range: {pc} (program {self.program.name})"
+        )
+
+    def _budget_error(self, budget: int) -> SimulationError:
+        return SimulationError(
+            f"instruction budget of {budget} exhausted in {self.program.name}"
+        )
+
+    # ------------------------------------------------------------------
+    # Event-sink attachment
+    # ------------------------------------------------------------------
+    def _attach(self) -> None:
+        if not (self._port_hooks or self._fill_hooks or self._fifo_hooks):
+            return
+        sink = _EventSink(self._port_hooks, self._fill_hooks,
+                          self._fifo_hooks)
+        root = self.system if self.system is not None else self.cpu.bus
+        for comp in _walk(root):
+            if isinstance(comp, MemoryPort):
+                if self._port_hooks:
+                    comp.probe_sink = sink
+                    self._attached.append(comp)
+            elif isinstance(comp, HHT):
+                if self._fill_hooks or self._fifo_hooks:
+                    comp.probe_sink = sink
+                    self._attached.append(comp)
+                    # An engine created by an earlier START on the same
+                    # device keeps publishing.
+                    if comp.engine is not None:
+                        comp.engine.probe_sink = sink
+
+    def _start_probes(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._attach()
+        for probe in self.probes:
+            probe.on_session_start(self)
+
+    def _detach(self) -> None:
+        for comp in self._attached:
+            comp.probe_sink = None
+            if isinstance(comp, HHT) and comp.engine is not None:
+                comp.engine.probe_sink = None
+        self._attached.clear()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> CpuStats:
+        """Drive the program to ``halt`` (or a probe's stop); return the
+        CPU's counters, exactly as ``Cpu.run`` always has."""
+        cpu = self.cpu
+        code = self._code
+        n = len(code)
+        budget = cpu.config.max_instructions
+        stats = cpu.counters
+        executed = stats.instructions
+        limit = executed + budget
+        pc = self._pc
+        hooks = self._instr_hooks
+        try:
+            self._start_probes()
+            while not cpu.halted:
+                if not 0 <= pc < n:
+                    raise self._pc_error(pc)
+                handler, ins = code[pc]
+                if hooks:
+                    before = cpu.cycle
+                    next_pc = handler(ins, pc)
+                    for hook in hooks:
+                        hook(pc, ins, before, cpu.cycle)
+                    pc = next_pc
+                else:
+                    pc = handler(ins, pc)
+                executed += 1
+                if executed >= limit:
+                    raise self._budget_error(budget)
+        except ProbeHalt:
+            pass
+        finally:
+            self._pc = pc
+            for probe in self.probes:
+                probe.on_session_end(self)
+            self._detach()
+        stats.instructions = executed
+        stats.cycles = cpu.cycle
+        return stats
+
+    def step(self) -> bool:
+        """Execute one instruction under an *external* clock; returns
+        False once halted.  This is the ``step_one`` path: the caller
+        (the programmable HHT's engine) mutates ``cpu.cycle`` between
+        steps, and the instruction budget is checked against the
+        absolute counter."""
+        cpu = self.cpu
+        if not self._started:
+            self._start_probes()
+        if cpu.halted:
+            return False
+        code = self._code
+        pc = self._pc
+        if not 0 <= pc < len(code):
+            raise self._pc_error(pc)
+        handler, ins = code[pc]
+        hooks = self._instr_hooks
+        if hooks:
+            before = cpu.cycle
+            self._pc = handler(ins, pc)
+            for hook in hooks:
+                hook(pc, ins, before, cpu.cycle)
+        else:
+            self._pc = handler(ins, pc)
+        stats = cpu.counters
+        stats.instructions += 1
+        if stats.instructions >= cpu.config.max_instructions:
+            raise self._budget_error(cpu.config.max_instructions)
+        stats.cycles = cpu.cycle
+        return not cpu.halted
+
+    def payloads(self) -> dict[str, object]:
+        """Collect every probe's non-None payload, keyed by probe name."""
+        out: dict[str, object] = {}
+        for probe in self.probes:
+            data = probe.payload()
+            if data is not None:
+                out[probe.name] = data
+        return out

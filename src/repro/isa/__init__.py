@@ -1,7 +1,7 @@
 """Behavioural RV32-style instruction set: mnemonics, assembler, programs."""
 
 from .assembler import AssemblerError, assemble
-from .encoding import EncodingError, decode, encodable, encode, encode_program
+from .encoding import EncodingError, decode, encodable, encode, encode_program, s32
 from .instructions import ALL_MNEMONICS, INSTRUCTION_CLASS, SYNTAX, Instr, instruction_class
 from .program import Program
 from .registers import (
@@ -22,6 +22,7 @@ __all__ = [
     "encodable",
     "encode",
     "encode_program",
+    "s32",
     "ALL_MNEMONICS",
     "INSTRUCTION_CLASS",
     "SYNTAX",

@@ -21,6 +21,16 @@ class EncodingError(ValueError):
     """Raised when an instruction has no (supported) binary encoding."""
 
 
+def s32(value: int) -> int:
+    """Wrap an int to signed 32-bit two's complement.
+
+    The architectural sign interpretation of a 32-bit word — shared by
+    the interpreter (every ALU result) and the instrumentation layer
+    (rendering destination-register values in traces).
+    """
+    return ((value + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+
+
 def _check_range(value: int, bits: int, name: str, *, signed: bool) -> int:
     if signed:
         lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1

@@ -56,6 +56,10 @@ class MemoryPort(SimComponent):
         self._bank_free = [0] * self.banks
         self._bank_requests = [0] * self.banks
         self.counters = PortStats()
+        # Event sink installed by a SimSession when a probe subscribed
+        # to port_issue events; None costs one test per issue.  The
+        # session owns the lifecycle, so reset() leaves it alone.
+        self.probe_sink = None
 
     def _reset_local(self) -> None:
         self._bank_free = [0] * self.banks
@@ -92,6 +96,9 @@ class MemoryPort(SimComponent):
             slot = cycle if cycle >= free[0] else free[0]
             free[0] = slot + 1
             self.counters.record(requester, slot - cycle)
+            sink = self.probe_sink
+            if sink is not None:
+                sink.port_issue(self.name, requester, slot, 1, slot - cycle)
             return slot + self.latency
         bank = (addr >> 2) % self.banks
         free = self._bank_free
@@ -99,6 +106,9 @@ class MemoryPort(SimComponent):
         free[bank] = slot + 1
         self._bank_requests[bank] += 1
         self.counters.record(requester, slot - cycle)
+        sink = self.probe_sink
+        if sink is not None:
+            sink.port_issue(self.name, requester, slot, 1, slot - cycle)
         return slot + self.latency
 
     def issue_burst(
@@ -132,9 +142,13 @@ class MemoryPort(SimComponent):
             counters.by_requester[requester] = (
                 counters.by_requester.get(requester, 0) + count
             )
+            sink = self.probe_sink
+            if sink is not None:
+                sink.port_issue(self.name, requester, slot, count, waited)
             return slot + count - 1 + self.latency
         free = self._bank_free
         word0 = addr >> 2
+        sink = self.probe_sink
         last_slot = cycle
         for i in range(count):
             bank = (word0 + i * stride_words) % self.banks
@@ -143,6 +157,8 @@ class MemoryPort(SimComponent):
             free[bank] = slot + 1
             self._bank_requests[bank] += 1
             counters.record(requester, slot - desired)
+            if sink is not None:
+                sink.port_issue(self.name, requester, slot, 1, slot - desired)
             if slot > last_slot:
                 last_slot = slot
         return last_slot + self.latency

@@ -54,6 +54,9 @@ class RunResult:
     instructions: int
     stats: dict[str, int | float]
     frequency_hz: float
+    # Payloads published by probes attached to the run (keyed by probe
+    # name); empty for plain runs, so summary shapes are unchanged.
+    probe_payloads: dict[str, object] = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
@@ -278,14 +281,24 @@ class Soc(SimComponent):
     def assemble(self, text: str, name: str = "kernel") -> Program:
         return assemble(text, symbols=self.symbols, name=name)
 
-    def run(self, program: Program, entry: int | str | None = None) -> RunResult:
+    def run(self, program: Program, entry: int | str | None = None,
+            probes: tuple = ()) -> RunResult:
+        """Execute *program* from reset; ``probes`` attach instrumentation
+        (see :mod:`repro.instrument`) whose payloads ride home on the
+        result."""
+        from ..instrument.session import SimSession
+
         self.reset()  # whole component tree: CPU, port, cache tags, HHTs
-        counters = self.cpu.run(program, entry=entry)
+        session = SimSession(
+            self.cpu, program, entry=entry, probes=probes, system=self
+        )
+        counters = session.run()
         return RunResult(
             cycles=counters.cycles,
             instructions=counters.instructions,
             stats=self.stats(),
             frequency_hz=self.config.cpu.frequency_hz,
+            probe_payloads=session.payloads(),
         )
 
     def read_output(self, name: str, count: int, dtype=np.float32) -> np.ndarray:

@@ -116,6 +116,66 @@ class TestReportAndCorpus:
             main([])
 
 
+class TestTraceCommand:
+    def test_prints_trace(self, capsys):
+        code, out = run_cli(capsys, "trace", "--size", "8", "--limit", "20")
+        assert code == 0
+        assert "spmv_hht: 20 entries" in out
+        assert "seq" in out and "@0" in out
+        # The HHT setup prologue leads every kernel.
+        assert "hht_m_num_rows" in out
+
+    def test_only_filter(self, capsys):
+        code, out = run_cli(
+            capsys, "trace", "--size", "8", "--kernel", "spmv-baseline",
+            "--only", "lw", "--limit", "500",
+        )
+        assert code == 0
+        body = out.splitlines()[2:]  # skip summary + header
+        assert body
+        assert all("lw" in line for line in body)
+
+    def test_spmspv_kernel(self, capsys):
+        code, out = run_cli(
+            capsys, "trace", "--kernel", "spmspv", "--size", "8",
+            "--limit", "10",
+        )
+        assert code == 0
+        assert "spmspv_hht_v2" in out
+
+
+class TestTimelineCommand:
+    def test_text_output(self, capsys):
+        code, out = run_cli(capsys, "timeline", "--size", "8")
+        assert code == 0
+        assert "spmv_hht:" in out
+        assert "cycles" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "timeline", "--size", "8", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["program"] == "spmv_hht"
+        assert set(payload["probes"]) == {"timeline", "contention"}
+        assert payload["probes"]["timeline"]["fills"]
+        assert payload["cycles"] > 0
+
+    def test_json_matches_probe_invariants(self, capsys):
+        """The dumped contention totals agree with a direct run."""
+        import json
+
+        code, out = run_cli(
+            capsys, "timeline", "--size", "8", "--json", "--bin", "16"
+        )
+        assert code == 0
+        contention = json.loads(out)["probes"]["contention"]
+        assert contention["bin_cycles"] == 16
+        for requester, n in contention["requests"].items():
+            assert sum(contention["bins"][requester].values()) == n
+
+
 def _table_lines(text):
     return [l for l in text.splitlines() if not l.startswith("sweep engine")]
 

@@ -79,3 +79,60 @@ class TestTrace:
         entries = trace_program(soc, prog, only={"vle32.v"})
         # Both the vals loads and the FIFO loads appear.
         assert len(entries) >= matrix.nrows
+
+
+class TestTracedValues:
+    """rd_value coverage for vector and HHT FIFO-pop instructions."""
+
+    def test_vector_entries_have_no_rd_value(self, soc):
+        prog = soc.assemble("""
+            li a0, 0x100
+            li a1, 0x200
+            vsetvli t0, x0, e32, m1
+            vle32.v v1, (a0)
+            vmv.v.i v0, 0
+            vfmacc.vv v0, v1, v1
+            vse32.v v0, (a1)
+            halt
+        """)
+        entries = trace_program(soc, prog)
+        by_op = {e.op: e for e in entries}
+        for op in ("vle32.v", "vse32.v", "vmv.v.i", "vfmacc.vv", "vsetvli"):
+            assert by_op[op].rd_value is None, op
+        # ...while the scalar arithmetic around them still reports values.
+        assert entries[0].rd_value == 0x100
+        # And the rendered line for a vector op ends at the cycle span.
+        line = next(l for l in render_trace(entries).splitlines()
+                    if "vle32.v" in l)
+        assert "->" not in line
+
+    def test_scalar_arithmetic_values(self, soc):
+        prog = soc.assemble(
+            "li a0, 6\nslli a1, a0, 2\nsub a2, a1, a0\nhalt"
+        )
+        entries = trace_program(soc, prog)
+        assert [e.rd_value for e in entries[:3]] == [6, 24, 18]
+        assert all(isinstance(e.rd_value, int) for e in entries[:3])
+
+    def test_hht_fifo_pop_traces_float_value(self, soc):
+        """The scalar HHT kernel pops gathered vector values with
+        ``flw`` from the FIFO MMIO address; those entries must carry the
+        popped float, not a stale integer."""
+        from repro.kernels import spmv_hht_scalar
+        from repro.workloads import random_csr, random_dense_vector
+
+        matrix = random_csr((8, 8), 0.5, seed=3)
+        vector = random_dense_vector(8, seed=4)
+        soc.load_csr(matrix)
+        soc.load_dense_vector(vector)
+        soc.allocate_output(8)
+        prog = soc.assemble(spmv_hht_scalar())
+        entries = trace_program(soc, prog, only={"flw"})
+        # Two flw per stored element: the FIFO pop and the vals load.
+        assert len(entries) == 2 * matrix.nnz
+        assert all(isinstance(e.rd_value, float) for e in entries)
+        # The FIFO pops (even positions) replay the gathered v values:
+        # every popped value is an element of the dense vector.
+        pops = {e.rd_value for e in entries[::2]}
+        assert pops <= {float(x) for x in vector}
+        assert pops  # at least one nonzero row actually popped

@@ -1,0 +1,179 @@
+"""Shipped-probe tests: trace, pc-profile, timeline, contention."""
+
+import pytest
+
+from repro.instrument import (
+    ContentionProbe,
+    PcProfileProbe,
+    TimelineProbe,
+    TraceProbe,
+)
+from repro.kernels import spmv_hht_vector, spmv_kernel
+from repro.workloads import random_csr, random_dense_vector
+
+
+def hht_workload(soc, size=8, seed=1):
+    matrix = random_csr((size, size), 0.5, seed=seed)
+    soc.load_csr(matrix)
+    soc.load_dense_vector(random_dense_vector(size, seed=seed + 1))
+    soc.allocate_output(size)
+    return soc.assemble(spmv_hht_vector())
+
+
+class TestTraceProbe:
+    def test_matches_trace_program(self, soc_factory):
+        from repro.analysis.trace import trace_program
+
+        soc = soc_factory()
+        prog = hht_workload(soc)
+        legacy = trace_program(soc, prog, limit=40)
+
+        soc = soc_factory()
+        prog = hht_workload(soc)
+        probe = TraceProbe(limit=40)
+        soc.run(prog, probes=(probe,))
+        assert probe.entries == legacy
+
+    def test_only_filter(self, soc):
+        prog = soc.assemble("li a0, 3\nloop: addi a0, a0, -1\n"
+                            "bnez a0, loop\nhalt")
+        probe = TraceProbe(only={"bne"})
+        soc.run(prog, probes=(probe,))
+        assert [e.op for e in probe.entries] == ["bne"] * 3
+
+    def test_trace_probe_payload_stays_off_result(self, soc):
+        prog = soc.assemble("halt")
+        result = soc.run(prog, probes=(TraceProbe(),))
+        assert result.probe_payloads == {}
+
+
+class TestPcProfileProbe:
+    def test_equals_legacy_profile_flag(self, soc_factory):
+        src = spmv_kernel(hht=False, vector=True)
+
+        soc = soc_factory()
+        matrix = random_csr((16, 16), 0.5, seed=5)
+        soc.load_csr(matrix)
+        soc.load_dense_vector(random_dense_vector(16, seed=6))
+        soc.allocate_output(16)
+        prog = soc.assemble(src)
+        soc.cpu.profile = True
+        flagged = soc.run(prog)
+        soc.cpu.profile = False
+
+        soc = soc_factory()
+        soc.load_csr(matrix)
+        soc.load_dense_vector(random_dense_vector(16, seed=6))
+        soc.allocate_output(16)
+        prog = soc.assemble(src)
+        probed = soc.run(prog, probes=(PcProfileProbe(),))
+
+        assert flagged.stats == probed.stats
+        assert flagged.cpu_stats.pc_counts == probed.cpu_stats.pc_counts
+        assert flagged.cpu_stats.pc_cycles == probed.cpu_stats.pc_cycles
+
+    def test_cycles_sum_to_total(self, soc):
+        prog = soc.assemble("li a0, 1\nmul a1, a0, a0\nhalt")
+        result = soc.run(prog, probes=(PcProfileProbe(),))
+        assert sum(result.cpu_stats.pc_cycles.values()) == result.cycles
+
+
+class TestTimelineProbe:
+    def test_fills_match_engine_counter(self, soc_factory):
+        soc = soc_factory()
+        prog = hht_workload(soc)
+        probe = TimelineProbe()
+        result = soc.run(prog, probes=(probe,))
+        assert len(probe.fills) == result.stats["soc.hht.buffers_filled"]
+        # Engine time advances monotonically across fills.
+        times = [f["t"] for f in probe.fills]
+        assert times == sorted(times)
+        # Occupancy never exceeds the configured buffer count.
+        n = soc.config.hht.n_buffers
+        for fill in probe.fills:
+            for s in fill["streams"].values():
+                assert 0 <= s["occupied_slots"] <= n
+
+    def test_fifo_reads_match_counters(self, soc_factory):
+        soc = soc_factory()
+        prog = hht_workload(soc)
+        probe = TimelineProbe()
+        result = soc.run(prog, probes=(probe,))
+        assert len(probe.fifo_reads) == result.stats["soc.hht.fifo_reads"]
+        assert sum(r["wait"] for r in probe.fifo_reads) == (
+            result.stats["soc.hht.cpu_wait_cycles"]
+        )
+        assert sum(r["count"] for r in probe.fifo_reads) == (
+            result.stats["soc.hht.elements_supplied"]
+        )
+
+    def test_payload_shape(self, soc_factory):
+        soc = soc_factory()
+        prog = hht_workload(soc)
+        result = soc.run(prog, probes=(TimelineProbe(),))
+        payload = result.probe_payloads["timeline"]
+        assert set(payload) == {"fills", "fifo_reads"}
+
+
+class TestContentionProbe:
+    @pytest.mark.parametrize("banks", [1, 4])
+    def test_totals_match_port_counters(self, banks, soc_factory):
+        from repro.system import SystemConfig
+
+        cfg = SystemConfig.paper_table1()
+        cfg.ram_bytes = 1 << 16
+        cfg.banks = banks
+        from repro.system import Soc
+
+        soc = Soc(cfg)
+        prog = hht_workload(soc)
+        probe = ContentionProbe(bin_cycles=32)
+        result = soc.run(prog, probes=(probe,))
+        assert sum(probe.requests.values()) == result.stats["soc.ram.requests"]
+        assert sum(probe.queue_cycles.values()) == (
+            result.stats["soc.ram.queue_cycles"]
+        )
+        for requester, n in probe.requests.items():
+            assert n == result.stats[f"soc.ram.requester.{requester}"]
+        # Bin totals agree with the per-requester totals.
+        for requester, bins in probe.bins.items():
+            assert sum(bins.values()) == probe.requests[requester]
+
+    def test_bins_cover_run(self, soc_factory):
+        soc = soc_factory()
+        prog = hht_workload(soc)
+        probe = ContentionProbe(bin_cycles=16)
+        result = soc.run(prog, probes=(probe,))
+        last_bin = max(b for bins in probe.bins.values() for b in bins)
+        assert last_bin <= result.cycles // 16 + 1
+
+    def test_rejects_bad_bin(self):
+        with pytest.raises(ValueError, match="bin_cycles"):
+            ContentionProbe(bin_cycles=0)
+
+
+class TestSinkLifecycle:
+    def test_sinks_detached_after_run(self, soc_factory):
+        soc = soc_factory()
+        prog = hht_workload(soc)
+        soc.run(prog, probes=(TimelineProbe(), ContentionProbe()))
+        assert soc.port.probe_sink is None
+        assert soc.hht.probe_sink is None
+        assert soc.hht.engine is None or soc.hht.engine.probe_sink is None
+
+    def test_no_subscription_means_no_sink(self, soc_factory):
+        """A probe that only watches instructions leaves every
+        component's probe_sink untouched (the emitters stay on their
+        one-test fast path)."""
+        from repro.instrument import SimSession
+
+        soc = soc_factory()
+        prog = hht_workload(soc)
+        soc.reset()
+        session = SimSession(
+            soc.cpu, prog, probes=(PcProfileProbe(),), system=soc
+        )
+        session._start_probes()
+        assert soc.port.probe_sink is None
+        assert soc.hht.probe_sink is None
+        session.run()
