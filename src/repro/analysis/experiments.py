@@ -146,6 +146,25 @@ def spmspv_sweep(size: int, variant: str, n_buffers: int,
     return _sweep_points(base, hht, sparsities)
 
 
+def headline_sweeps(size: int) -> dict[str, tuple[SweepPoint, ...]]:
+    """The sweeps behind the headline figures (4/5/6/7), keyed by series.
+
+    Figures 4+6 project the same two SpMV sweeps and figures 5+7 the same
+    four SpMSpV sweeps, so this is the complete simulation workload of
+    the paper's main results — the bench harness
+    (:mod:`repro.telemetry.bench`) snapshots its metrics from exactly
+    these series.
+    """
+    return {
+        "spmv_1buf": spmv_sweep(size, 8, 1),
+        "spmv_2buf": spmv_sweep(size, 8, 2),
+        "spmspv_v1_1buf": spmspv_sweep(size, "hht_v1", 1),
+        "spmspv_v1_2buf": spmspv_sweep(size, "hht_v1", 2),
+        "spmspv_v2_1buf": spmspv_sweep(size, "hht_v2", 1),
+        "spmspv_v2_2buf": spmspv_sweep(size, "hht_v2", 2),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Table 1 and Figure 1
 # ---------------------------------------------------------------------------

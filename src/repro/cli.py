@@ -12,10 +12,13 @@ Commands:
 * ``validate`` — fast self-check of every paper claim (exit 1 on failure).
 * ``stats`` — run one workload and list every stats-registry counter.
 * ``trace`` — run one workload with a TraceProbe and print the
-  instruction trace.
+  instruction trace, or export it as Chrome trace-event JSON
+  (``--chrome out.json``, opens in https://ui.perfetto.dev).
 * ``timeline`` — run one workload with Timeline/Contention probes and
   print (or dump as JSON) the HHT buffer-fill timeline and the shared
-  port's contention histogram.
+  port's contention histogram; ``--sample N`` adds a stats time-series.
+* ``bench`` — run the headline suite, write schema-versioned JSON, and
+  optionally gate against a committed baseline (``--compare``).
 """
 
 from __future__ import annotations
@@ -65,7 +68,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="print the simulated system configuration")
+    info = sub.add_parser(
+        "info", help="print the simulated system configuration"
+    )
+    info.add_argument("--json", action="store_true",
+                      help="emit the flattened configuration as JSON")
 
     spmv = sub.add_parser("spmv", help="run one SpMV comparison")
     spmv.add_argument("--rows", type=int, default=256)
@@ -136,11 +143,15 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--size", type=int, default=16)
     trace.add_argument("--sparsity", type=float, default=0.5)
     trace.add_argument("--seed", type=int, default=0)
-    trace.add_argument("--limit", type=int, default=200,
-                       help="stop after this many recorded entries")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="stop after this many recorded entries "
+                            "(text default 200; --chrome default unbounded)")
     trace.add_argument("--only", default=None, metavar="OPS",
                        help="comma-separated mnemonics to record "
                             "(e.g. 'flw,vle32.v')")
+    trace.add_argument("--chrome", type=Path, default=None, metavar="OUT",
+                       help="write Chrome trace-event JSON to OUT instead "
+                            "of printing text (open in ui.perfetto.dev)")
 
     timeline = sub.add_parser(
         "timeline",
@@ -156,13 +167,60 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="contention histogram bin width in cycles")
     timeline.add_argument("--json", action="store_true",
                           help="emit the probe payloads as JSON")
+    timeline.add_argument("--sample", type=int, default=None, metavar="N",
+                          help="also sample the stats registry every N "
+                               "cycles (SamplerProbe)")
+    timeline.add_argument("--sample-csv", type=Path, default=None,
+                          metavar="OUT",
+                          help="write the sampled time-series as CSV "
+                               "(implies --sample, default stride 1024)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the headline suite and write machine-readable results",
+    )
+    bench.add_argument("--out", type=Path, default=Path("BENCH_PR5.json"),
+                       help="where to write the bench JSON "
+                            "(default BENCH_PR5.json)")
+    bench.add_argument("--size", type=int, default=None,
+                       help="sweep matrix dimension (default 96, or the "
+                            "baseline's size when comparing)")
+    bench.add_argument("--compare", type=Path, default=None,
+                       metavar="BASELINE",
+                       help="diff against this bench JSON and exit 1 on "
+                            "regression")
+    bench.add_argument("--threshold", type=float, default=None,
+                       metavar="FRACTION",
+                       help="relative regression threshold for --compare "
+                            "(default 0.05)")
+    _add_engine_args(bench)
 
     return parser
 
 
-def _cmd_info(_args) -> int:
+def _cmd_info(args) -> int:
     from .system.config import SystemConfig
 
+    if args.json:
+        import json
+
+        from .power import area_ratio_vs_ibex, system_power
+
+        cfg = SystemConfig.paper_table1()
+        print(json.dumps(
+            {
+                "schema": "repro-config/1",
+                "config": cfg.to_flat(),
+                "content_key": cfg.content_key(),
+                "hht_area_vs_ibex": area_ratio_vs_ibex(),
+                "power_uw_16nm_50mhz": {
+                    "cpu": system_power(16, 50, with_hht=False),
+                    "cpu_hht": system_power(16, 50, with_hht=True),
+                },
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
     print("Simulated system (paper Table 1):")
     print(SystemConfig.paper_table1().describe())
     from .power import area_ratio_vs_ibex, system_power
@@ -355,17 +413,38 @@ def _workload_program(args):
 
 def _cmd_trace(args) -> int:
     """Trace one workload's execution, instruction by instruction."""
-    from .analysis.trace import render_trace, trace_program
+    from .instrument import TraceProbe, render_trace
 
     soc, program = _workload_program(args)
     only = None
     if args.only:
         only = {op.strip() for op in args.only.split(",") if op.strip()}
-    entries = trace_program(soc, program, limit=args.limit, only=only)
+
+    if args.chrome is not None:
+        from .telemetry import ChromeTraceProbe, write_chrome_trace
+
+        probe = ChromeTraceProbe(limit=args.limit)
+        result = soc.run(program, probes=(probe,))
+        path = write_chrome_trace(probe.payload(), args.chrome)
+        dropped = (f", {probe.dropped_instructions} instruction slices "
+                   "dropped by --limit"
+                   if probe.dropped_instructions else "")
+        print(f"{program.name}: {result.cycles:,} cycles, "
+              f"{result.instructions:,} instructions{dropped}")
+        print(f"chrome trace written to {path} "
+              "(open in https://ui.perfetto.dev)")
+        return 0
+
+    limit = args.limit if args.limit is not None else 200
+    probe = TraceProbe(limit=limit, only=only)
+    soc.run(program, probes=(probe,))
+    entries = probe.entries
     print(f"{program.name}: {len(entries)} entries "
-          f"(limit {args.limit}"
+          f"(limit {limit}"
           + (f", only {sorted(only)}" if only else "") + ")")
-    print(render_trace(entries))
+    print(render_trace(
+        entries, truncated_after=limit if probe.truncated else None,
+    ))
     return 0
 
 
@@ -376,8 +455,21 @@ def _cmd_timeline(args) -> int:
     from .instrument import ContentionProbe, TimelineProbe, render_timeline
 
     soc, program = _workload_program(args)
-    probes = (TimelineProbe(), ContentionProbe(bin_cycles=args.bin_cycles))
-    result = soc.run(program, probes=probes)
+    probes = [TimelineProbe(), ContentionProbe(bin_cycles=args.bin_cycles)]
+    sampling = args.sample is not None or args.sample_csv is not None
+    if sampling:
+        from .telemetry import SamplerProbe
+
+        probes.append(SamplerProbe(every=args.sample or 1024))
+    result = soc.run(program, probes=tuple(probes))
+    if args.sample_csv is not None:
+        from .telemetry import write_sampler_csv
+
+        path = write_sampler_csv(result.probe_payloads["sampler"],
+                                 args.sample_csv)
+        # Keep stdout pure JSON under --json; the note goes to stderr.
+        note = f"sampled time-series written to {path}"
+        print(note, file=sys.stderr) if args.json else print(note)
     if args.json:
         print(json.dumps(
             {
@@ -398,6 +490,47 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Run the headline suite; optionally gate against a baseline."""
+    from .telemetry import (
+        DEFAULT_THRESHOLD,
+        collect_bench,
+        compare_bench,
+        load_bench,
+        write_bench,
+    )
+
+    baseline = None
+    size = args.size
+    if args.compare is not None:
+        baseline = load_bench(args.compare)
+        if size is None:
+            # Measure at the baseline's size so the diff is meaningful.
+            size = baseline.get("suite", {}).get("size")
+
+    data = collect_bench(size)
+    path = write_bench(data, args.out)
+    print(f"bench suite (size {data['suite']['size']}): "
+          f"{len(data['metrics'])} metrics in "
+          f"{data['host']['wall_seconds']:.2f}s -> {path}")
+
+    if baseline is None:
+        return 0
+    threshold = (args.threshold if args.threshold is not None
+                 else DEFAULT_THRESHOLD)
+    failures, report = compare_bench(data, baseline, threshold=threshold)
+    print(f"compare vs {args.compare} (threshold {threshold:.0%}):")
+    for line in report:
+        print(f"  {line}")
+    if failures:
+        print(f"REGRESSION: {len(failures)} check(s) failed")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("all gated metrics within threshold")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "spmv": _cmd_spmv,
@@ -409,6 +542,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "timeline": _cmd_timeline,
+    "bench": _cmd_bench,
 }
 
 

@@ -65,6 +65,16 @@ class ExecStats:
             f"({self.points_per_second:.1f} points/s, jobs={self.jobs})"
         )
 
+    def as_dict(self) -> dict:
+        """JSON-able snapshot (the bench harness records one per run)."""
+        return {
+            "executed": self.executed,
+            "cached": self.cached,
+            "wall_seconds": self.wall_seconds,
+            "points_per_second": self.points_per_second,
+            "jobs": self.jobs,
+        }
+
 
 _SESSION = ExecStats()
 _DEFAULT_JOBS: int | None = None

@@ -40,6 +40,15 @@ class Probe:
 
     name = "probe"
 
+    #: Cycle stride for :meth:`on_sample`.  A probe that overrides
+    #: ``on_sample`` must set this to a positive cycle count; the
+    #: session then fires the hook at the first checkpoint after the
+    #: CPU clock crosses a multiple of it.  Checkpoints ride the
+    #: instruction-budget compare the run loop already pays (every
+    #: ``stride/8`` instructions), so cyclic sampling adds no
+    #: per-instruction work — far cheaper than ``on_instruction``.
+    sample_every = 0
+
     # -- session lifecycle --------------------------------------------
     def on_session_start(self, session) -> None:
         """Called once, after hooks are attached, before execution."""
@@ -65,6 +74,9 @@ class Probe:
                      wait: int, count: int) -> None:
         """The CPU popped *count* elements from an HHT FIFO, stalling
         *wait* cycles for data."""
+
+    def on_sample(self, session, cycle: int) -> None:
+        """The CPU clock crossed a multiple of :attr:`sample_every`."""
 
     # -- result --------------------------------------------------------
     def payload(self):
@@ -115,12 +127,16 @@ class TraceProbe(Probe):
         self.limit = limit
         self.only = set(only) if only is not None else None
         self.entries: list[TraceEntry] = []
+        #: True once the entry cap stopped the session early (the trace
+        #: is a prefix of the execution, not the whole run).
+        self.truncated = False
         self._seq = 0
         self._cpu = None
 
     def on_session_start(self, session) -> None:
         self._cpu = session.cpu
         if self.limit <= 0 or len(self.entries) >= self.limit:
+            self.truncated = True
             raise ProbeHalt
 
     def on_instruction(self, pc, ins, cycle_start, cycle_end) -> None:
@@ -150,6 +166,7 @@ class TraceProbe(Probe):
                 )
             )
             if len(self.entries) >= self.limit:
+                self.truncated = True
                 raise ProbeHalt
 
 
@@ -258,9 +275,25 @@ class ContentionProbe(Probe):
         )
 
     def payload(self):
+        """Histogram with *uniform* bin spacing.
+
+        The live ``bins`` dicts are sparse (only bins that saw traffic
+        exist); the payload fills every requester out over the common
+        ``[first_bin, last_bin]`` range with explicit zeros, so
+        downstream time-series and plots see idle windows instead of
+        silently skipping them.
+        """
+        dense: dict[str, dict[int, int]] = {}
+        if self.bins:
+            lo = min(min(b) for b in self.bins.values())
+            hi = max(max(b) for b in self.bins.values())
+            dense = {
+                req: {b: sparse.get(b, 0) for b in range(lo, hi + 1)}
+                for req, sparse in self.bins.items()
+            }
         return {
             "bin_cycles": self.bin_cycles,
             "requests": dict(self.requests),
             "queue_cycles": dict(self.queue_cycles),
-            "bins": {req: dict(b) for req, b in self.bins.items()},
+            "bins": dense,
         }

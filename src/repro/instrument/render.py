@@ -5,10 +5,18 @@ from __future__ import annotations
 from .probes import TraceEntry
 
 
-def render_trace(entries: list[TraceEntry]) -> str:
-    """Render a trace as text, one line per entry."""
+def render_trace(entries: list[TraceEntry],
+                 *, truncated_after: int | None = None) -> str:
+    """Render a trace as text, one line per entry.
+
+    ``truncated_after`` appends an explicit footer stating that the
+    recording cap was hit (pass the limit that stopped the trace).
+    """
     header = f"{'seq':>6}  {'pc':<6} {'instruction':<32} [cycles] -> value"
-    return "\n".join([header] + [e.render() for e in entries])
+    lines = [header] + [e.render() for e in entries]
+    if truncated_after is not None:
+        lines.append(f"... truncated after {truncated_after} instructions")
+    return "\n".join(lines)
 
 
 def render_timeline(timeline: dict, contention: dict | None = None) -> str:

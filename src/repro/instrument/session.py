@@ -114,6 +114,20 @@ class SimSession:
         self._port_hooks = _hooks(self.probes, "on_port_issue")
         self._fill_hooks = _hooks(self.probes, "on_buffer_fill")
         self._fifo_hooks = _hooks(self.probes, "on_fifo_read")
+        # Cyclic samplers: [next_due_cycle, stride, hook] per probe that
+        # overrides on_sample with a positive sample_every.  The run
+        # loop folds the stride test into the instruction-budget compare
+        # it already pays (checking the clock only every _sample_chunk
+        # instructions), so an attached sampler adds no per-instruction
+        # work at all.
+        self._sample_state = [
+            [0, int(p.sample_every), hook]
+            for p in self.probes
+            if (hook := _overridden(p, "on_sample")) is not None
+            and int(getattr(p, "sample_every", 0)) >= 1
+        ]
+        self._sample_due: int | None = None
+        self._sample_chunk = 1
         self._attached: list = []
         # Lifecycle notification is lazy so the step() path gets it too.
         self._started = not self.probes
@@ -161,6 +175,33 @@ class SimSession:
         self._attach()
         for probe in self.probes:
             probe.on_session_start(self)
+        if self._sample_state:
+            cycle = self.cpu.cycle
+            for entry in self._sample_state:
+                every = entry[1]
+                entry[0] = cycle - cycle % every + every
+            self._sample_due = min(e[0] for e in self._sample_state)
+            # Clock checkpoints every stride/8 instructions: each
+            # instruction costs >= 1 cycle, so a sample fires within
+            # ~1/8 of its stride even on stall-free code, and the run
+            # loop's per-instruction work stays identical to a bare run.
+            self._sample_chunk = max(
+                1, min(e[1] for e in self._sample_state) // 8
+            )
+
+    def _fire_samplers(self, cycle: int) -> int | None:
+        """Fire every due on_sample hook; return the next due cycle."""
+        nxt: int | None = None
+        for entry in self._sample_state:
+            due, every, hook = entry
+            if cycle >= due:
+                hook(self, cycle)
+                due = cycle - cycle % every + every
+                entry[0] = due
+            if nxt is None or due < nxt:
+                nxt = due
+        self._sample_due = nxt
+        return nxt
 
     def _detach(self) -> None:
         for comp in self._attached:
@@ -186,6 +227,18 @@ class SimSession:
         hooks = self._instr_hooks
         try:
             self._start_probes()
+            # With samplers attached, the budget compare doubles as the
+            # sampling checkpoint: check_at stops every _sample_chunk
+            # instructions to look at the clock.  Without samplers it
+            # equals the budget limit and the loop is byte-identical to
+            # the pre-sampling one.
+            sample_due = self._sample_due
+            if sample_due is None:
+                chunk = 0
+                check_at = limit
+            else:
+                chunk = self._sample_chunk
+                check_at = min(limit, executed + chunk)
             while not cpu.halted:
                 if not 0 <= pc < n:
                     raise self._pc_error(pc)
@@ -199,17 +252,26 @@ class SimSession:
                 else:
                     pc = handler(ins, pc)
                 executed += 1
-                if executed >= limit:
-                    raise self._budget_error(budget)
+                if executed >= check_at:
+                    if executed >= limit:
+                        raise self._budget_error(budget)
+                    # Flush the live counters first so samplers reading
+                    # the stats registry see the current run, not the
+                    # state left by the previous one.
+                    stats.instructions = executed
+                    stats.cycles = cpu.cycle
+                    if cpu.cycle >= sample_due:
+                        sample_due = self._fire_samplers(cpu.cycle)
+                    check_at = min(limit, executed + chunk)
         except ProbeHalt:
             pass
         finally:
             self._pc = pc
+            stats.instructions = executed
+            stats.cycles = cpu.cycle
             for probe in self.probes:
                 probe.on_session_end(self)
             self._detach()
-        stats.instructions = executed
-        stats.cycles = cpu.cycle
         return stats
 
     def step(self) -> bool:
@@ -241,6 +303,9 @@ class SimSession:
         if stats.instructions >= cpu.config.max_instructions:
             raise self._budget_error(cpu.config.max_instructions)
         stats.cycles = cpu.cycle
+        sample_due = self._sample_due
+        if sample_due is not None and cpu.cycle >= sample_due:
+            self._fire_samplers(cpu.cycle)
         return not cpu.halted
 
     def payloads(self) -> dict[str, object]:

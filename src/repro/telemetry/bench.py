@@ -1,0 +1,224 @@
+"""Machine-readable bench harness: the repo's perf trajectory contract.
+
+``repro bench`` runs the headline suite — the SpMV/SpMSpV sweeps behind
+figures 4/5 (geomean speedups) and 6/7 (CPU-wait fractions) plus the
+host-side interpreter throughput — and writes a schema-versioned JSON
+document (``BENCH_PR5.json`` at the repo top level is the committed
+baseline).  ``repro bench --compare <baseline.json>`` re-measures and
+exits nonzero when any *gated* metric regresses by more than the
+threshold, which is the standing CI gate every later perf PR diffs
+against.
+
+Metric entries carry a ``direction``:
+
+* ``"higher"`` / ``"lower"`` — gated; a move in the bad direction beyond
+  the threshold is a regression (simulated metrics are deterministic, so
+  any delta at all means the timing model changed);
+* ``"info"`` — recorded but never gated (host-machine-dependent numbers
+  like interpreter throughput).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Bench document schema (bump on incompatible layout changes).
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Default sweep size: large enough for stable geomeans, small enough
+#: that a cold-cache CI run stays in single-digit seconds.
+DEFAULT_BENCH_SIZE = 96
+
+#: Default relative regression threshold for ``--compare``.
+DEFAULT_THRESHOLD = 0.05
+
+
+def geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def _measure_interpreter(rounds: int = 3) -> tuple[float, int]:
+    """Host instructions/second on a fixed 64x64 baseline SpMV run."""
+    from ..kernels.spmv import spmv_kernel
+    from ..system.soc import Soc
+    from ..workloads.synthetic import random_csr, random_dense_vector
+
+    matrix = random_csr((64, 64), 0.5, seed=11)
+    v = random_dense_vector(64, seed=12)
+    soc = Soc()
+    soc.load_csr(matrix)
+    soc.load_dense_vector(v)
+    soc.allocate_output(matrix.nrows)
+    program = soc.assemble(spmv_kernel(hht=False, vector=True))
+
+    best = float("inf")
+    instructions = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = soc.run(program)
+        best = min(best, time.perf_counter() - start)
+        instructions = result.instructions
+    return instructions / best, instructions
+
+
+def collect_bench(size: int | None = None, *,
+                  interpreter_rounds: int = 3) -> dict:
+    """Run the headline suite and return the bench document."""
+    from ..analysis.experiments import SPARSITIES, headline_sweeps
+    from ..exec import session_stats
+
+    size = size or DEFAULT_BENCH_SIZE
+    started = time.perf_counter()
+    engine_before = session_stats()
+    sweeps = headline_sweeps(size)
+
+    metrics: dict[str, dict] = {}
+
+    def metric(key: str, value: float, direction: str, unit: str) -> None:
+        metrics[key] = {
+            "value": float(value), "direction": direction, "unit": unit,
+        }
+
+    for buffers in ("1buf", "2buf"):
+        points = sweeps[f"spmv_{buffers}"]
+        metric(f"fig4.spmv_speedup_geomean.{buffers}",
+               geomean(p.speedup for p in points), "higher", "x")
+        metric(f"fig6.spmv_cpu_wait_mean.{buffers}",
+               _mean(p.cpu_wait_fraction for p in points), "lower",
+               "fraction")
+    for variant in ("v1", "v2"):
+        for buffers in ("1buf", "2buf"):
+            points = sweeps[f"spmspv_{variant}_{buffers}"]
+            metric(f"fig5.spmspv_speedup_geomean.{variant}_{buffers}",
+                   geomean(p.speedup for p in points), "higher", "x")
+            metric(f"fig7.spmspv_cpu_wait_mean.{variant}_{buffers}",
+                   _mean(p.cpu_wait_fraction for p in points), "lower",
+                   "fraction")
+
+    ips, instructions = _measure_interpreter(rounds=interpreter_rounds)
+    metric("host.interpreter_instructions_per_sec", ips, "info", "1/s")
+
+    engine_after = session_stats()
+    engine = engine_after.as_dict()
+    engine["executed"] -= engine_before.executed
+    engine["cached"] -= engine_before.cached
+    engine["wall_seconds"] -= engine_before.wall_seconds
+    engine.pop("points_per_second", None)
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": {
+            "size": size,
+            "sparsities": [float(s) for s in SPARSITIES],
+            "vlmax": 8,
+        },
+        "metrics": metrics,
+        "host": {
+            "wall_seconds": time.perf_counter() - started,
+            "interpreter_instructions": instructions,
+            "sweep_engine": engine,
+        },
+    }
+
+
+def write_bench(data: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric: relative move and whether it regressed."""
+
+    key: str
+    baseline: float
+    current: float
+    direction: str
+    rel_delta: float  # signed, positive = value went up
+    worse_by: float   # positive = moved in the bad direction
+
+    def line(self) -> str:
+        tag = "REGRESSION" if self.worse_by > 0 else "ok"
+        return (
+            f"{self.key}: {self.baseline:.6g} -> {self.current:.6g} "
+            f"({self.rel_delta:+.2%}, direction={self.direction}) [{tag}]"
+        )
+
+
+def compare_bench(current: dict, baseline: dict, *,
+                  threshold: float = DEFAULT_THRESHOLD
+                  ) -> tuple[list[str], list[str]]:
+    """Diff *current* against *baseline*; returns (failures, report).
+
+    Gated metrics (direction ``higher``/``lower``) fail when they move
+    more than *threshold* (relative) in the bad direction; ``info``
+    metrics are reported only.  Schema or suite-size mismatches fail
+    outright — comparing different sweeps would be meaningless.
+    """
+    failures: list[str] = []
+    report: list[str] = []
+
+    if baseline.get("schema") != current.get("schema"):
+        failures.append(
+            f"schema mismatch: baseline {baseline.get('schema')!r} vs "
+            f"current {current.get('schema')!r}"
+        )
+        return failures, report
+    base_size = baseline.get("suite", {}).get("size")
+    cur_size = current.get("suite", {}).get("size")
+    if base_size != cur_size:
+        failures.append(
+            f"suite size mismatch: baseline size={base_size} vs "
+            f"current size={cur_size} (rerun with --size {base_size})"
+        )
+        return failures, report
+
+    cur_metrics = current.get("metrics", {})
+    for key, base_entry in sorted(baseline.get("metrics", {}).items()):
+        direction = base_entry.get("direction", "info")
+        cur_entry = cur_metrics.get(key)
+        if cur_entry is None:
+            if direction != "info":
+                failures.append(f"{key}: missing from current run")
+            else:
+                report.append(f"{key}: missing from current run [info]")
+            continue
+        base_value = float(base_entry["value"])
+        cur_value = float(cur_entry["value"])
+        denom = abs(base_value) if base_value else 1.0
+        rel_delta = (cur_value - base_value) / denom
+        if direction == "higher":
+            worse_by = -rel_delta
+        elif direction == "lower":
+            worse_by = rel_delta
+        else:
+            worse_by = 0.0
+        delta = MetricDelta(
+            key=key, baseline=base_value, current=cur_value,
+            direction=direction,
+            rel_delta=rel_delta,
+            worse_by=worse_by if worse_by > threshold else 0.0,
+        )
+        report.append(delta.line())
+        if delta.worse_by > 0:
+            failures.append(
+                f"{key}: {base_value:.6g} -> {cur_value:.6g} "
+                f"({rel_delta:+.2%} is worse than the {threshold:.0%} "
+                "threshold)"
+            )
+    return failures, report

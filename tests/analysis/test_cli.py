@@ -19,6 +19,22 @@ class TestInfo:
         assert "38.9%" in out
         assert "223 uW" in out
 
+    def test_json_output(self, capsys):
+        import json
+
+        from repro.system import SystemConfig
+
+        code, out = run_cli(capsys, "info", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        cfg = SystemConfig.paper_table1()
+        assert payload["schema"] == "repro-config/1"
+        assert payload["config"] == json.loads(json.dumps(cfg.to_flat()))
+        assert payload["content_key"] == cfg.content_key()
+        assert payload["power_uw_16nm_50mhz"]["cpu_hht"] > (
+            payload["power_uw_16nm_50mhz"]["cpu"]
+        )
+
 
 class TestSpmv:
     def test_baseline_and_hht(self, capsys):
@@ -143,6 +159,47 @@ class TestTraceCommand:
         assert code == 0
         assert "spmspv_hht_v2" in out
 
+    def test_truncation_footer(self, capsys):
+        code, out = run_cli(capsys, "trace", "--size", "8", "--limit", "20")
+        assert code == 0
+        assert "... truncated after 20 instructions" in out
+
+    def test_full_trace_has_no_footer(self, capsys):
+        code, out = run_cli(
+            capsys, "trace", "--size", "8", "--limit", "100000"
+        )
+        assert code == 0
+        assert "truncated" not in out
+
+    def test_chrome_export(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys, "trace", "--size", "8", "--chrome", str(out_path)
+        )
+        assert code == 0
+        assert "perfetto" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["otherData"]["schema"] == "repro-chrome-trace/1"
+        assert payload["otherData"]["dropped_instructions"] == 0
+        assert any(e.get("cat") == "cpu" for e in payload["traceEvents"])
+
+    def test_chrome_export_respects_limit(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys, "trace", "--size", "8",
+            "--chrome", str(out_path), "--limit", "5",
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        cpu = [e for e in payload["traceEvents"] if e.get("cat") == "cpu"]
+        assert len(cpu) == 5
+        assert payload["otherData"]["dropped_instructions"] > 0
+        assert "dropped by --limit" in out
+
 
 class TestTimelineCommand:
     def test_text_output(self, capsys):
@@ -174,6 +231,106 @@ class TestTimelineCommand:
         assert contention["bin_cycles"] == 16
         for requester, n in contention["requests"].items():
             assert sum(contention["bins"][requester].values()) == n
+
+    def test_sample_joins_json_output(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "timeline", "--size", "8", "--json", "--sample", "64"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload["probes"]) == {
+            "timeline", "contention", "sampler",
+        }
+        sampler = payload["probes"]["sampler"]
+        assert sampler["every"] == 64
+        assert sampler["cycle"][-1] == payload["cycles"]
+
+    def test_sample_csv_written(self, capsys, tmp_path):
+        out_path = tmp_path / "series.csv"
+        code, out = run_cli(
+            capsys, "timeline", "--size", "8",
+            "--sample", "64", "--sample-csv", str(out_path),
+        )
+        assert code == 0
+        assert str(out_path) in out
+        header = out_path.read_text().splitlines()[0]
+        assert header.startswith("cycle,")
+        assert "derived.cpu_wait_fraction" in header
+
+    def test_sample_csv_keeps_json_stdout_pure(self, capsys, tmp_path):
+        import json
+
+        code = main([
+            "timeline", "--size", "8", "--sample", "64", "--json",
+            "--sample-csv", str(tmp_path / "series.csv"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)  # stdout is parseable JSON
+        assert "sampler" in payload["probes"]
+        assert "series.csv" in captured.err
+
+
+class TestBenchCommand:
+    def test_writes_bench_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        code, out = run_cli(
+            capsys, "bench", "--size", "24", "--out", str(out_path)
+        )
+        assert code == 0
+        assert "13 metrics" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["suite"]["size"] == 24
+
+    def test_compare_clean_baseline_passes(self, capsys, tmp_path):
+        base = tmp_path / "base.json"
+        code, _ = run_cli(capsys, "bench", "--size", "24",
+                          "--out", str(base))
+        assert code == 0
+        code, out = run_cli(
+            capsys, "bench", "--out", str(tmp_path / "cur.json"),
+            "--compare", str(base),
+        )
+        assert code == 0
+        assert "all gated metrics within threshold" in out
+
+    def test_compare_exits_nonzero_on_regression(self, capsys, tmp_path):
+        import json
+
+        base = tmp_path / "base.json"
+        code, _ = run_cli(capsys, "bench", "--size", "24",
+                          "--out", str(base))
+        assert code == 0
+        # Inject a 10% speedup regression into the baseline's future:
+        # raise the bar so the (deterministic) re-measurement fails it.
+        doc = json.loads(base.read_text())
+        doc["metrics"]["fig4.spmv_speedup_geomean.2buf"]["value"] *= 1.10
+        base.write_text(json.dumps(doc))
+        code, out = run_cli(
+            capsys, "bench", "--out", str(tmp_path / "cur.json"),
+            "--compare", str(base),
+        )
+        assert code == 1
+        assert "REGRESSION" in out
+        assert "fig4.spmv_speedup_geomean.2buf" in out
+
+    def test_compare_adopts_baseline_size(self, capsys, tmp_path):
+        import json
+
+        base = tmp_path / "base.json"
+        code, _ = run_cli(capsys, "bench", "--size", "24",
+                          "--out", str(base))
+        assert code == 0
+        cur = tmp_path / "cur.json"
+        code, _ = run_cli(capsys, "bench", "--out", str(cur),
+                          "--compare", str(base))
+        assert code == 0
+        assert json.loads(cur.read_text())["suite"]["size"] == 24
 
 
 def _table_lines(text):

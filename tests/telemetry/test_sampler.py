@@ -1,0 +1,109 @@
+"""SamplerProbe tests: grid alignment, derived series, CSV export."""
+
+import pytest
+
+from repro.telemetry import SAMPLER_SCHEMA, SamplerProbe, sampler_to_csv
+from tests.telemetry.test_chrome_trace import hht_workload
+
+
+def sampled_run(soc_factory, every=64, **kwargs):
+    soc = soc_factory()
+    prog = hht_workload(soc, size=16)
+    probe = SamplerProbe(every=every, **kwargs)
+    result = soc.run(prog, probes=(probe,))
+    return probe, result
+
+
+class TestSamplingGrid:
+    def test_uniform_grid_bracketed_by_endpoints(self, soc_factory):
+        probe, result = sampled_run(soc_factory, every=64)
+        payload = probe.payload()
+        cycles = payload["cycle"]
+        assert payload["schema"] == SAMPLER_SCHEMA
+        assert payload["every"] == 64
+        assert cycles[0] == 0
+        assert cycles[-1] == result.cycles
+        # A sample fires at the first instruction boundary at-or-after
+        # each stride multiple, so interior samples hit one distinct
+        # stride each, in order, and the grid stays dense (a stride is
+        # only skipped when a single instruction spans more than one).
+        interior = cycles[1:-1]
+        assert interior, "run too short to sample — grow the workload"
+        assert cycles == sorted(set(cycles))
+        strides = [c // 64 for c in interior]
+        assert strides == sorted(set(strides))
+        assert len(interior) >= result.cycles // 64 - 1
+
+    def test_final_sample_equals_result_stats(self, soc_factory):
+        probe, result = sampled_run(soc_factory, every=64)
+        payload = probe.payload()
+        for key, values in payload["series"].items():
+            assert values[-1] == result.stats[key]
+
+    def test_series_are_columnar(self, soc_factory):
+        probe, _ = sampled_run(soc_factory, every=64)
+        payload = probe.payload()
+        n = len(payload["cycle"])
+        for values in payload["series"].values():
+            assert len(values) == n
+        for values in payload["derived"].values():
+            assert len(values) == n
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError, match="every"):
+            SamplerProbe(every=0)
+
+
+class TestDerivedSeries:
+    def test_cpu_wait_fraction_matches_endpoint(self, soc_factory):
+        probe, result = sampled_run(soc_factory, every=64)
+        payload = probe.payload()
+        wait = payload["derived"]["cpu_wait_fraction"]
+        assert wait[0] == 0.0
+        expected = result.stats["soc.hht.cpu_wait_cycles"] / result.cycles
+        assert wait[-1] == pytest.approx(expected)
+        assert all(0.0 <= w <= 1.0 for w in wait)
+
+    def test_buffered_elements_bounded_by_capacity(self, soc_factory):
+        probe, result = sampled_run(soc_factory, every=64)
+        buffered = probe.payload()["derived"]["buffered_elements"]
+        assert all(b >= 0 for b in buffered)
+        # The HHT was actually active in this workload.
+        assert max(buffered) > 0
+
+    def test_prefix_filter_trims_series_not_derived(self, soc_factory):
+        probe, _ = sampled_run(
+            soc_factory, every=64, prefixes=("soc.hht",)
+        )
+        payload = probe.payload()
+        assert payload["series"]
+        assert all(k.startswith("soc.hht") for k in payload["series"])
+        assert set(payload["derived"]) == {
+            "cpu_wait_fraction", "buffered_elements",
+        }
+
+
+class TestNonPerturbation:
+    def test_sampling_leaves_timing_untouched(self, soc_factory):
+        soc = soc_factory()
+        bare = soc.run(hht_workload(soc, size=16))
+
+        probe, sampled = sampled_run(soc_factory, every=64)
+        assert sampled.cycles == bare.cycles
+        assert sampled.stats == bare.stats
+
+
+class TestCsv:
+    def test_round_trippable_table(self, soc_factory):
+        probe, _ = sampled_run(soc_factory, every=64)
+        payload = probe.payload()
+        text = sampler_to_csv(payload)
+        lines = text.splitlines()
+        header = lines[0].split(",")
+        assert header[0] == "cycle"
+        assert "derived.cpu_wait_fraction" in header
+        assert len(lines) == 1 + len(payload["cycle"])
+        for line in lines[1:]:
+            assert len(line.split(",")) == len(header)
+        # Values survive a parse: last row's cycle is the final sample.
+        assert lines[-1].split(",")[0] == str(payload["cycle"][-1])
