@@ -66,6 +66,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "Processing' (IPPS 2022) — the HHT memory-side accelerator."
         ),
     )
+    parser.add_argument(
+        "--backend", choices=("reference", "compiled"), default=None,
+        help="execution backend for every simulation in this invocation "
+             "(default: $REPRO_BACKEND, else 'reference'); 'compiled' "
+             "translates basic blocks to specialized closures with "
+             "bit-identical results",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     info = sub.add_parser(
@@ -179,9 +186,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the headline suite and write machine-readable results",
     )
-    bench.add_argument("--out", type=Path, default=Path("BENCH_PR5.json"),
+    bench.add_argument("--out", type=Path, default=Path("BENCH_PR6.json"),
                        help="where to write the bench JSON "
-                            "(default BENCH_PR5.json)")
+                            "(default BENCH_PR6.json)")
+    bench.add_argument(
+        # SUPPRESS: only override the top-level --backend when given
+        # (a subparser default would clobber the parent's value).
+        "--backend", choices=("reference", "compiled"),
+        default=argparse.SUPPRESS,
+        help="execution backend for the suite (recorded in the JSON; "
+             "same as the global --backend but placeable after 'bench')",
+    )
     bench.add_argument("--size", type=int, default=None,
                        help="sweep matrix dimension (default 96, or the "
                             "baseline's size when comparing)")
@@ -548,6 +563,13 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        # The environment is the one channel that reaches every
+        # CpuConfig built in this process *and* in sweep worker
+        # processes (which inherit it).
+        import os
+
+        os.environ["REPRO_BACKEND"] = args.backend
     uses_engine = hasattr(args, "jobs")
     if uses_engine:
         from .exec import configure, reset_session_stats

@@ -1,6 +1,17 @@
 """Primary-core model: in-order RV32IMF+V with a non-pipelined vector unit."""
 
+from .compiled import CompiledBackend, CompiledBlock, run_compiled
 from .core import Cpu, CpuStats, SimulationError
-from .timing import CpuConfig, LatencyTable
+from .timing import BACKENDS, CpuConfig, LatencyTable
 
-__all__ = ["Cpu", "CpuStats", "SimulationError", "CpuConfig", "LatencyTable"]
+__all__ = [
+    "BACKENDS",
+    "CompiledBackend",
+    "CompiledBlock",
+    "Cpu",
+    "CpuStats",
+    "SimulationError",
+    "CpuConfig",
+    "LatencyTable",
+    "run_compiled",
+]

@@ -18,7 +18,21 @@ instruction a whole-pipeline cost:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+
+#: Supported execution backends (see repro.cpu.compiled for the second).
+BACKENDS = ("reference", "compiled")
+
+
+def _default_backend() -> str:
+    """Backend selected by the environment, ``reference`` otherwise.
+
+    ``REPRO_BACKEND`` lets the CLI (and CI's second test job) flip every
+    CpuConfig constructed in the process — including those built inside
+    sweep worker processes, which inherit the environment.
+    """
+    return os.environ.get("REPRO_BACKEND", "reference")
 
 
 @dataclass
@@ -62,18 +76,28 @@ class CpuConfig:
     frequency_hz: float = 1.1e9        # Table 1: 1.1 GHz
     latencies: LatencyTable = field(default_factory=LatencyTable)
     max_instructions: int = 500_000_000
+    # Execution backend: "reference" is the per-instruction interpreter
+    # in repro.cpu.core; "compiled" translates basic blocks to
+    # specialized closures (repro.cpu.compiled) with bit-identical
+    # results.  Timing is backend-independent by contract.
+    backend: str = field(default_factory=_default_backend)
 
     def __post_init__(self) -> None:
         if self.vlmax < 1 or self.vlmax > 64:
             raise ValueError(f"vlmax must be in [1, 64], got {self.vlmax}")
         if self.frequency_hz <= 0:
             raise ValueError(f"frequency must be positive, got {self.frequency_hz}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
 
     def to_dict(self) -> dict[str, object]:
         return {
             "vlmax": self.vlmax,
             "frequency_hz": self.frequency_hz,
             "max_instructions": self.max_instructions,
+            "backend": self.backend,
             "latencies": self.latencies.to_dict(),
         }
 

@@ -31,7 +31,9 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_NO_CACHE = "REPRO_NO_CACHE"
 
 #: Bump when the cached JSON layout changes incompatibly.
-SCHEMA_VERSION = 2
+#: 3: the flattened config gained ``cpu.backend`` (execution backend is
+#: part of every key, so runs from different backends never alias).
+SCHEMA_VERSION = 3
 
 
 @lru_cache(maxsize=1)

@@ -217,6 +217,15 @@ class SimSession:
         """Drive the program to ``halt`` (or a probe's stop); return the
         CPU's counters, exactly as ``Cpu.run`` always has."""
         cpu = self.cpu
+        # Probe-deference rule: the compiled backend executes whole
+        # basic blocks, so it cannot honour per-instruction hooks or
+        # event sinks.  Any probe (including samplers and the legacy
+        # profile flag's auto-probe) forces the reference path below;
+        # both paths are bit-identical in cycles, stats, and errors.
+        if not self.probes and cpu.config.backend == "compiled":
+            from ..cpu.compiled import run_compiled
+
+            return run_compiled(self)
         code = self._code
         n = len(code)
         budget = cpu.config.max_instructions

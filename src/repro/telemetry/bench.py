@@ -27,7 +27,14 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: Bench document schema (bump on incompatible layout changes).
-BENCH_SCHEMA = "repro-bench/1"
+#: /2: the suite block records the execution backend, and the host
+#: interpreter metric moved from the vector to the *scalar* baseline
+#: SpMV kernel — the scalar kernel is dispatch-bound, which is what an
+#: interpreter-throughput metric should measure (the vector kernel's
+#: floor is numpy ufunc latency, recorded separately as
+#: ``host.vector_instructions_per_sec``).  Old /1 documents measured a
+#: different workload, so cross-schema comparison fails outright.
+BENCH_SCHEMA = "repro-bench/2"
 
 #: Default sweep size: large enough for stable geomeans, small enough
 #: that a cold-cache CI run stays in single-digit seconds.
@@ -47,8 +54,22 @@ def _mean(values) -> float:
     return sum(values) / len(values)
 
 
-def _measure_interpreter(rounds: int = 3) -> tuple[float, int]:
-    """Host instructions/second on a fixed 64x64 baseline SpMV run."""
+def _measure_interpreter(rounds: int = 3, *,
+                         vector: bool = False) -> tuple[float, int]:
+    """Host instructions/second on a fixed 64x64 baseline SpMV run.
+
+    The headline interpreter metric uses the *scalar* baseline kernel:
+    its runtime is dominated by per-instruction dispatch, which is
+    exactly what ``host.interpreter_instructions_per_sec`` names.  The
+    vector kernel retires most of its work inside numpy ufuncs whose
+    fixed call latency bounds any dispatch-side optimisation, so it is
+    measured too (``vector=True``) but reported as a separate metric.
+
+    The same ``Soc``/program pair is timed ``rounds`` times best-of, so
+    the compiled backend's one-off block-translation cost lands in the
+    first round and the steady-state (block-cache-warm) rate is what
+    gets reported — matching how sweeps amortise compilation.
+    """
     from ..kernels.spmv import spmv_kernel
     from ..system.soc import Soc
     from ..workloads.synthetic import random_csr, random_dense_vector
@@ -59,7 +80,7 @@ def _measure_interpreter(rounds: int = 3) -> tuple[float, int]:
     soc.load_csr(matrix)
     soc.load_dense_vector(v)
     soc.allocate_output(matrix.nrows)
-    program = soc.assemble(spmv_kernel(hht=False, vector=True))
+    program = soc.assemble(spmv_kernel(hht=False, vector=vector))
 
     best = float("inf")
     instructions = 0
@@ -107,6 +128,9 @@ def collect_bench(size: int | None = None, *,
 
     ips, instructions = _measure_interpreter(rounds=interpreter_rounds)
     metric("host.interpreter_instructions_per_sec", ips, "info", "1/s")
+    vec_ips, _ = _measure_interpreter(rounds=interpreter_rounds,
+                                      vector=True)
+    metric("host.vector_instructions_per_sec", vec_ips, "info", "1/s")
 
     engine_after = session_stats()
     engine = engine_after.as_dict()
@@ -115,12 +139,19 @@ def collect_bench(size: int | None = None, *,
     engine["wall_seconds"] -= engine_before.wall_seconds
     engine.pop("points_per_second", None)
 
+    from ..cpu.timing import _default_backend
+
     return {
         "schema": BENCH_SCHEMA,
         "suite": {
             "size": size,
             "sparsities": [float(s) for s in SPARSITIES],
             "vlmax": 8,
+            # The execution backend every simulation above ran under
+            # (recorded, not gated: simulated metrics are backend-
+            # independent by contract, so cross-backend comparison is
+            # exactly how that contract is checked).
+            "backend": _default_backend(),
         },
         "metrics": metrics,
         "host": {
@@ -187,6 +218,18 @@ def compare_bench(current: dict, baseline: dict, *,
             f"current size={cur_size} (rerun with --size {base_size})"
         )
         return failures, report
+    base_backend = baseline.get("suite", {}).get("backend")
+    cur_backend = current.get("suite", {}).get("backend")
+    if base_backend != cur_backend:
+        # Deliberately NOT a failure: simulated metrics are backend-
+        # independent by contract, so a cross-backend diff passing is
+        # the bit-identity gate working as intended.  Host-side info
+        # metrics will of course differ.
+        report.append(
+            f"suite.backend: baseline {base_backend!r} vs current "
+            f"{cur_backend!r} (cross-backend comparison; gated metrics "
+            "must still match)"
+        )
 
     cur_metrics = current.get("metrics", {})
     for key, base_entry in sorted(baseline.get("metrics", {}).items()):

@@ -274,18 +274,38 @@ class TestTimelineCommand:
 
 
 class TestBenchCommand:
-    def test_writes_bench_json(self, capsys, tmp_path):
+    def test_writes_bench_json(self, capsys, tmp_path, monkeypatch):
         import json
 
+        # Pin the backend: the tier-1 suite also runs in CI with
+        # REPRO_BACKEND=compiled, and this test asserts the default.
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
         out_path = tmp_path / "bench.json"
         code, out = run_cli(
             capsys, "bench", "--size", "24", "--out", str(out_path)
         )
         assert code == 0
-        assert "13 metrics" in out
+        assert "14 metrics" in out
         payload = json.loads(out_path.read_text())
-        assert payload["schema"] == "repro-bench/1"
+        assert payload["schema"] == "repro-bench/2"
         assert payload["suite"]["size"] == 24
+        assert payload["suite"]["backend"] == "reference"
+        assert "host.vector_instructions_per_sec" in payload["metrics"]
+
+    def test_backend_flag_recorded(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        # monkeypatch restores REPRO_BACKEND even though the CLI sets
+        # it via os.environ inside main().
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        out_path = tmp_path / "bench.json"
+        code, _ = run_cli(
+            capsys, "bench", "--size", "24", "--backend", "compiled",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["suite"]["backend"] == "compiled"
 
     def test_compare_clean_baseline_passes(self, capsys, tmp_path):
         base = tmp_path / "base.json"

@@ -91,10 +91,18 @@ def _run(label, workload, probes=()):
 
 
 class TestGoldenRuns:
-    """Bit-identical to the pre-refactor interpreter, per workload."""
+    """Bit-identical to the pre-refactor interpreter, per workload.
 
+    Parametrized over both execution backends: the compiled backend
+    must reproduce the same golden cycles, instruction counts and
+    stats-registry hashes as the reference interpreter.
+    """
+
+    @pytest.mark.parametrize("backend", ["reference", "compiled"])
     @pytest.mark.parametrize("label", sorted(GOLDEN_RUNS))
-    def test_matches_pre_refactor(self, label, workload):
+    def test_matches_pre_refactor(self, label, backend, workload,
+                                  monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", backend)
         result = _run(label, workload)
         golden = GOLDEN_RUNS[label]
         assert result.cycles == golden["cycles"]
@@ -135,24 +143,32 @@ class TestProbesDoNotPerturb:
         assert bare.probe_payloads == {}
 
 
+@pytest.mark.parametrize("backend", ["reference", "compiled"])
 class TestGoldenTraces:
-    """trace_program's rendered output is byte-identical to before."""
+    """trace_program's rendered output is byte-identical to before.
+
+    Under the compiled backend the trace probe forces per-instruction
+    deference to the reference path, so the rendered text must be the
+    same bytes either way.
+    """
 
     def _soc(self):
         cfg = SystemConfig.paper_table1()
         cfg.ram_bytes = 1 << 16
         return Soc(cfg)
 
-    def test_scalar_trace(self):
+    def test_scalar_trace(self, backend, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", backend)
         soc = self._soc()
         prog = soc.assemble(
             "li a0, 5\nli a1, 7\nadd a2, a0, a1\nlw t0, 0x100(zero)\nhalt"
         )
         assert render_trace(trace_program(soc, prog)) == GOLDEN_SCALAR_TRACE
 
-    def test_hht_kernel_trace(self):
+    def test_hht_kernel_trace(self, backend, monkeypatch):
         from repro.kernels import spmv_hht_vector
 
+        monkeypatch.setenv("REPRO_BACKEND", backend)
         soc = self._soc()
         matrix = random_csr((8, 8), 0.5, seed=1)
         soc.load_csr(matrix)
@@ -164,13 +180,32 @@ class TestGoldenTraces:
 
 
 class TestSummaryShape:
-    """RunSummary's serialised shape (and so the cache schema) is
-    unchanged — SCHEMA_VERSION stays at 2."""
+    """RunSummary's serialised shape is unchanged; SCHEMA_VERSION is 3
+    because the flattened config (and so every cache key) now carries
+    ``cpu.backend``."""
 
-    def test_schema_version_unbumped(self):
+    def test_schema_version(self):
         from repro.exec.cache import SCHEMA_VERSION
 
-        assert SCHEMA_VERSION == 2
+        assert SCHEMA_VERSION == 3
+
+    def test_backend_in_cache_key(self, workload):
+        from repro.exec import RunSpec
+        from repro.exec.cache import cache_key
+        from repro.exec.spec import freeze_config
+        from repro.system import SystemConfig
+
+        def spec_for(backend):
+            cfg = SystemConfig.paper_table1()
+            cfg.cpu.backend = backend
+            return RunSpec(
+                kernel="spmv", variant="hht", rows=24, cols=24,
+                sparsity=0.4, matrix_seed=7, vector_seed=8,
+                config=freeze_config(cfg),
+            )
+
+        assert (cache_key(spec_for("reference"))
+                != cache_key(spec_for("compiled")))
 
     def test_summary_keys_unchanged(self, workload):
         from repro.exec import RunSpec, execute

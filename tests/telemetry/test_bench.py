@@ -47,6 +47,7 @@ class TestCollect:
             "fig7.spmspv_cpu_wait_mean.v2_1buf": "lower",
             "fig7.spmspv_cpu_wait_mean.v2_2buf": "lower",
             "host.interpreter_instructions_per_sec": "info",
+            "host.vector_instructions_per_sec": "info",
         }
         assert set(metrics) == set(expected)
         for key, direction in expected.items():
@@ -118,6 +119,18 @@ class TestCompare:
         failures, report = compare_bench(other, bench)
         assert any("size mismatch" in f for f in failures)
         assert report == []  # metric diffs would be meaningless
+
+    def test_backend_mismatch_reports_but_passes(self, bench):
+        # Simulated metrics are backend-independent by contract, so a
+        # cross-backend diff must pass — it IS the bit-identity gate.
+        other = copy.deepcopy(bench)
+        other["suite"]["backend"] = (
+            "compiled" if bench["suite"]["backend"] == "reference"
+            else "reference"
+        )
+        failures, report = compare_bench(bench, other)
+        assert failures == []
+        assert any("suite.backend" in line for line in report)
 
     def test_schema_mismatch_fails(self, bench):
         other = copy.deepcopy(bench)
