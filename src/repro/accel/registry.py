@@ -1,0 +1,35 @@
+"""Front-end registry: name -> :class:`AcceleratorFrontEnd` singleton.
+
+The built-in kinds ("hht", "ssr", "indexmac") are registered by
+:mod:`repro.accel` at import time; external code may register more
+before constructing a :class:`~repro.system.soc.Soc`.
+"""
+
+from __future__ import annotations
+
+from .base import AcceleratorFrontEnd
+
+_REGISTRY: dict[str, AcceleratorFrontEnd] = {}
+
+
+def register(front_end: AcceleratorFrontEnd) -> AcceleratorFrontEnd:
+    """Register (or replace) the front-end under ``front_end.kind``."""
+    if not front_end.kind:
+        raise ValueError(f"{front_end!r} has no kind to register under")
+    _REGISTRY[front_end.kind] = front_end
+    return front_end
+
+
+def front_end(kind: str) -> AcceleratorFrontEnd:
+    """Look up a registered front-end by kind name."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise ValueError(
+            f"unknown accelerator kind {kind!r} (registered: {known})"
+        ) from None
+
+
+def registered_kinds() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

@@ -166,6 +166,106 @@ def headline_sweeps(size: int) -> dict[str, tuple[SweepPoint, ...]]:
 
 
 # ---------------------------------------------------------------------------
+# Accelerator front-end bake-off (repro compare)
+# ---------------------------------------------------------------------------
+#: The five execution variants the bake-off compares, in display order:
+#: the two pure-CPU baselines, then one column per registered rival.
+COMPARE_SERIES = ("scalar", "vector", "hht", "ssr", "indexmac")
+
+#: Kernel selector per series: (accel name, vlmax override or None).
+_COMPARE_VARIANTS = {
+    "scalar": (None, 1),
+    "vector": (None, None),
+    "hht": ("hht", None),
+    "ssr": ("ssr", None),
+    "indexmac": ("indexmac", None),
+}
+
+
+@lru_cache(maxsize=None)
+def accelerator_sweep(
+    size: int, vlmax: int = 8,
+    sparsities: tuple[float, ...] = SPARSITIES,
+) -> dict[str, tuple[int, ...]]:
+    """SpMV cycles per series across the sparsity sweep, one batch.
+
+    Every variant sees the *same* matrix/vector per sparsity point
+    (shared seeds), so cycle ratios are pure architecture differences.
+    """
+    specs = []
+    for i, s in enumerate(sparsities):
+        for name in COMPARE_SERIES:
+            accel, vl = _COMPARE_VARIANTS[name]
+            specs.append(
+                spmv_spec(
+                    (size, size), s, accel=accel, vlmax=vl or vlmax,
+                    matrix_seed=_SEED + 800 + i,
+                    vector_seed=_SEED + 810 + i,
+                )
+            )
+    summaries = run_specs(specs)
+    n = len(COMPARE_SERIES)
+    return {
+        name: tuple(
+            summaries[i * n + j].cycles for i in range(len(sparsities))
+        )
+        for j, name in enumerate(COMPARE_SERIES)
+    }
+
+
+def compare_speedup_table(size: int | None = None) -> Table:
+    """The bake-off figure: speedup over the scalar CPU vs sparsity."""
+    size = size or default_size()
+    cycles = accelerator_sweep(size)
+    series = [name for name in COMPARE_SERIES if name != "scalar"]
+    table = Table(
+        f"Compare: SpMV speedup over scalar CPU vs sparsity "
+        f"({size}x{size}, VL=8)",
+        ["sparsity"] + series,
+    )
+    for i, s in enumerate(SPARSITIES):
+        scalar = cycles["scalar"][i]
+        table.add_row(
+            f"{s:.0%}", *(scalar / cycles[name][i] for name in series)
+        )
+    for name in series:
+        table.add_note(
+            f"{name}: geomean speedup "
+            f"{compare_geomean_speedup(cycles, name):.2f}x over scalar"
+        )
+    return table
+
+
+def compare_detail_table(size: int | None = None) -> Table:
+    """The bake-off table: raw cycles per variant and sparsity."""
+    size = size or default_size()
+    cycles = accelerator_sweep(size)
+    table = Table(
+        f"Compare: SpMV cycles per accelerator front-end ({size}x{size})",
+        ["sparsity"] + list(COMPARE_SERIES),
+    )
+    for i, s in enumerate(SPARSITIES):
+        table.add_row(f"{s:.0%}", *(cycles[name][i] for name in COMPARE_SERIES))
+    table.add_note(
+        "scalar/vector are the pure-CPU baselines (VL=1 / VL=8); "
+        "hht/ssr/indexmac run the VL=8 CPU with that front-end"
+    )
+    return table
+
+
+def compare_geomean_speedup(
+    cycles: dict[str, tuple[int, ...]], name: str,
+    baseline: str = "scalar",
+) -> float:
+    """Geometric-mean speedup of one series over a baseline series."""
+    ratios = [b / c for b, c in zip(cycles[baseline], cycles[name])]
+    product = 1.0
+    for r in ratios:
+        product *= r
+    return product ** (1.0 / len(ratios))
+
+
+# ---------------------------------------------------------------------------
 # Table 1 and Figure 1
 # ---------------------------------------------------------------------------
 def table1_config() -> Table:

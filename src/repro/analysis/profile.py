@@ -117,7 +117,7 @@ def profile_spmv(
     soc.load_dense_vector(np.ascontiguousarray(v, dtype=np.float32))
     soc.allocate_output(matrix.nrows)
     program = soc.assemble(
-        spmv_kernel(hht=hht, vector=vlmax > 1),
+        spmv_kernel(accel="hht" if hht else None, vector=vlmax > 1),
         name=f"spmv_{'hht' if hht else 'baseline'}_vl{vlmax}",
     )
     return profile_program(soc, program)

@@ -23,6 +23,26 @@ class VerificationError(AssertionError):
     """Simulated kernel output does not match the functional reference."""
 
 
+_UNSET = object()
+
+#: SpMSpV kernel mode -> accelerator front-end kind it depends on.
+_SPMSPV_ACCEL = {"ssr": "ssr", "indexmac": "indexmac"}
+
+
+def _ensure_accel(config: SystemConfig, kind: str | None) -> SystemConfig:
+    """Append the named front-end to the config if it is not present.
+
+    The HHT and the pure-CPU baseline need nothing: every config builds
+    an HHT by default (legacy ``n_hhts`` view).  SSR/IndexMAC runs need
+    their front-end instantiated so its MMRs/attachment exist.
+    """
+    if kind in (None, "hht"):
+        return config
+    if any(spec.kind == kind for spec in config.accelerator_specs()):
+        return config
+    return config.with_accelerator(kind)
+
+
 @dataclass
 class KernelRun:
     """A run's statistics plus its extracted output vector."""
@@ -68,13 +88,26 @@ def run_spmv(
     matrix: CSRMatrix,
     v: np.ndarray,
     *,
-    hht: bool,
+    hht: bool | None = None,
+    accel: str | None = _UNSET,  # type: ignore[assignment]
     vlmax: int = 8,
     n_buffers: int = 2,
     verify: bool = True,
     config: SystemConfig | None = None,
 ) -> KernelRun:
-    """Run one SpMV kernel (vectorised iff ``vlmax > 1``) end to end."""
+    """Run one SpMV kernel (vectorised iff ``vlmax > 1``) end to end.
+
+    ``accel`` selects the front-end by name (``"hht"``, ``"ssr"``,
+    ``"indexmac"``, or None for the pure-CPU baseline); the boolean
+    ``hht=`` flag remains as a compatible alias.
+    """
+    if accel is _UNSET:
+        accel = "hht" if hht else None
+    elif hht is not None:
+        raise TypeError("pass either accel= or the hht= flag, not both")
+    if config is None:
+        config = SystemConfig.paper_table1(vlmax=vlmax, n_buffers=n_buffers)
+    config = _ensure_accel(config, accel)
     soc = _make_soc(
         vlmax=vlmax, n_buffers=n_buffers,
         ram_bytes=_required_ram(matrix), config=config,
@@ -82,7 +115,7 @@ def run_spmv(
     soc.load_csr(matrix)
     soc.load_dense_vector(v)
     soc.allocate_output(matrix.nrows)
-    program = soc.assemble(spmv_kernel(hht=hht, vector=vlmax > 1))
+    program = soc.assemble(spmv_kernel(accel=accel, vector=vlmax > 1))
     result = soc.run(program)
     y = soc.read_output("y", matrix.nrows)
     if verify:
@@ -158,7 +191,14 @@ def run_spmspv(
     verify: bool = True,
     config: SystemConfig | None = None,
 ) -> KernelRun:
-    """Run one SpMSpV kernel; mode in {'baseline', 'hht_v1', 'hht_v2'}."""
+    """Run one SpMSpV kernel.
+
+    ``mode`` is one of ``'baseline'``, ``'hht_v1'``, ``'hht_v2'``,
+    ``'ssr'``, ``'indexmac'``.
+    """
+    if config is None:
+        config = SystemConfig.paper_table1(vlmax=vlmax, n_buffers=n_buffers)
+    config = _ensure_accel(config, _SPMSPV_ACCEL.get(mode))
     soc = _make_soc(
         vlmax=vlmax, n_buffers=n_buffers,
         ram_bytes=_required_ram(matrix, extra_words=3 * sv.n), config=config,

@@ -75,7 +75,9 @@ def run_spmm(
     soc.load_csr(matrix)
     v_base = soc.load_dense_vector(B[:, 0])
     soc.allocate_output(matrix.nrows)
-    program = soc.assemble(spmv_kernel(hht=hht, vector=vlmax > 1))
+    program = soc.assemble(
+        spmv_kernel(accel="hht" if hht else None, vector=vlmax > 1)
+    )
 
     result = SpmmResult(Y=np.zeros((matrix.nrows, k), dtype=np.float32))
     for j in range(k):

@@ -80,7 +80,7 @@ def run_spmv_tiled(
     soc.allocate_output(matrix.nrows)
 
     base_symbols = soc.symbols
-    kernel = spmv_kernel(hht=hht, vector=vlmax > 1)
+    kernel = spmv_kernel(accel="hht" if hht else None, vector=vlmax > 1)
     result = TiledRunResult(tile_rows=tile_rows)
 
     for start in range(0, matrix.nrows, tile_rows):

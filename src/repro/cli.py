@@ -19,6 +19,9 @@ Commands:
   port's contention histogram; ``--sample N`` adds a stats time-series.
 * ``bench`` — run the headline suite, write schema-versioned JSON, and
   optionally gate against a committed baseline (``--compare``).
+* ``compare`` — bake off every accelerator front-end (scalar/vector CPU
+  vs HHT vs SSR vs IndexMAC) across the sparsity sweep and emit the
+  speedup figure + cycles table (``--out`` writes .txt/.csv/.json).
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ FIGURES = {
     "cached": "ext_cached_system",
     "ablation": "ablation_memory",
     "banks": "ablation_banks",
+    "compare": "compare_speedup_table",
 }
 
 
@@ -210,6 +214,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default 0.05)")
     _add_engine_args(bench)
 
+    compare = sub.add_parser(
+        "compare",
+        help="bake off every accelerator front-end on the SpMV sweep",
+    )
+    compare.add_argument("--size", type=int, default=None,
+                         help="sweep matrix dimension (default 256; "
+                              "paper 512)")
+    compare.add_argument("--out", type=Path, default=None,
+                         help="directory for the figure/table artifacts "
+                              "(.txt/.csv/.json)")
+    _add_engine_args(compare)
+
     return parser
 
 
@@ -236,11 +252,21 @@ def _cmd_info(args) -> int:
             indent=2, sort_keys=True,
         ))
         return 0
+    cfg = SystemConfig.paper_table1()
     print("Simulated system (paper Table 1):")
-    print(SystemConfig.paper_table1().describe())
-    from .power import area_ratio_vs_ibex, system_power
+    print(cfg.describe())
+    from .accel import front_end
+    from .power import system_power
+    from .power.area import IBEX_GATES
 
-    print(f"\nASIC HHT area      : {area_ratio_vs_ibex():.1%} of an Ibex core")
+    # One area line per configured front-end, derived from the registry
+    # (the default config renders the historic "ASIC HHT area" line).
+    print()
+    for spec in cfg.accelerator_specs():
+        fe = front_end(spec.kind)
+        name = fe.summary_lines(cfg, spec)[0][0] or spec.kind
+        ratio = fe.gates(cfg, spec) / IBEX_GATES
+        print(f"{name + ' area':<19}: {ratio:.1%} of an Ibex core")
     print(f"power @16nm/50MHz  : {system_power(16, 50, with_hht=False):.0f} uW "
           f"(CPU) / {system_power(16, 50, with_hht=True):.0f} uW (CPU+HHT)")
     return 0
@@ -420,7 +446,7 @@ def _workload_program(args):
         soc.load_dense_vector(v)
         soc.allocate_output(matrix.nrows)
         program = soc.assemble(
-            spmv_kernel(hht=hht, vector=True),
+            spmv_kernel(accel="hht" if hht else None, vector=True),
             name=f"spmv_{'hht' if hht else 'baseline'}",
         )
     return soc, program
@@ -546,6 +572,31 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_compare(args) -> int:
+    """Bake off every accelerator front-end and emit figure + table."""
+    from .analysis import (
+        compare_detail_table,
+        compare_speedup_table,
+        save_table,
+    )
+
+    figure = compare_speedup_table(args.size)
+    detail = compare_detail_table(args.size)
+    print(figure.render())
+    print(detail.render())
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        for stem, table in (
+            ("compare_speedup", figure),
+            ("compare_cycles", detail),
+        ):
+            (args.out / f"{stem}.txt").write_text(table.render())
+            (args.out / f"{stem}.csv").write_text(table.to_csv())
+            save_table(table, args.out / f"{stem}.json")
+        print(f"compare artifacts written to {args.out}/")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "spmv": _cmd_spmv,
@@ -558,6 +609,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "timeline": _cmd_timeline,
     "bench": _cmd_bench,
+    "compare": _cmd_compare,
 }
 
 

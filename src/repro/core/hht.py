@@ -67,6 +67,10 @@ class HHT(SimComponent):
     per-device contention accounting.
     """
 
+    #: SimSession attaches its event sink to components advertising this
+    #: (buffer_fill / fifo_read probe events).
+    publishes_stream_events = True
+
     def __init__(self, config: HHTConfig, ram: Ram,
                  mem: MemorySystem | MemoryPort, name: str = "hht"):
         super().__init__(name)

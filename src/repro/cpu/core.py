@@ -82,6 +82,11 @@ class Cpu(SimComponent):
         self.lat = self.config.latencies
         self.vlmax = self.config.vlmax
         self.profile = False
+        # Accelerator front-end attachments (repro.accel): installed by
+        # the SoC builder when the matching front-end is configured.
+        # Their instructions trap (SimulationError) while unattached.
+        self.ssr = None
+        self.indexmac = None
         self._reset_local()
         self._dispatch = self._build_dispatch()
 
@@ -612,6 +617,93 @@ class Cpu(SimComponent):
             # generated only after this response returns (1 cycle).
             t = completion + 1
         self._charge("vector_gather", (t - start) + self.lat.load_use)
+        return pc + 1
+
+    # ------------------------------------------------------------------
+    # Accelerator front-end instructions (repro.accel).  The SSR pops
+    # read the stream unit the SoC attached; the IndexMAC pair issues
+    # *pipelined* gathers — one element request per cycle, letting the
+    # port overlap responses — unlike vluxei32.v's serialised chain.
+    # ------------------------------------------------------------------
+    def _require_ssr(self):
+        unit = self.ssr
+        if unit is None:
+            raise SimulationError(
+                "SSR instruction without the 'ssr' front-end configured "
+                "(add an accelerators entry with kind='ssr')"
+            )
+        return unit
+
+    def _op_fssrpop(self, ins, pc):
+        unit = self._require_ssr()
+        start = self.cycle
+        values, completion = unit.pop(ins.imm or 0, 1, start)
+        self.f[ins.rd] = _bits_f32(values[0])
+        self._charge("ssr_pop", (completion - start) + self.lat.load_use)
+        return pc + 1
+
+    def _op_vssrpop_v(self, ins, pc):
+        unit = self._require_ssr()
+        start = self.cycle
+        values, completion = unit.pop(ins.imm or 0, self.vl, start)
+        self.v[ins.rd][: self.vl] = values
+        self._charge("ssr_pop", (completion - start) + self.lat.load_use)
+        return pc + 1
+
+    def _require_indexmac(self):
+        unit = self.indexmac
+        if unit is None:
+            raise SimulationError(
+                "IndexMAC instruction without the 'indexmac' front-end "
+                "configured (add an accelerators entry with kind='indexmac')"
+            )
+        return unit
+
+    def _pipelined_gather(self, base: int, indices) -> tuple[np.ndarray, int]:
+        """Gather words at base + 4*index, issuing one request per cycle.
+
+        Returns (bit patterns, last completion cycle).  Indices are
+        *element* indices — the x4 scaling is part of the instruction,
+        so kernels skip the baseline's vsll.vi step.
+        """
+        start = self.cycle
+        latest = start
+        load = self.bus.load_word
+        out = np.empty(len(indices), dtype=np.uint32)
+        for i, index in enumerate(indices):
+            value, completion = load((base + 4 * int(index)) & _U32, start + i)
+            out[i] = value
+            if completion > latest:
+                latest = completion
+        return out, latest
+
+    def _op_vlpidx_v(self, ins, pc):
+        unit = self._require_indexmac()
+        vl = self.vl
+        base = self.x[ins.rs1] & _U32
+        indices = self.v[ins.rs2][:vl].view(np.int32)
+        gathered, latest = self._pipelined_gather(base, indices)
+        self.v[ins.rd][:vl] = gathered
+        unit.gathers += 1
+        unit.gathered_elements += vl
+        self._charge(
+            "vector_pgather", (latest - self.cycle) + self.lat.load_use
+        )
+        return pc + 1
+
+    def _op_vfmacidx(self, ins, pc):
+        unit = self._require_indexmac()
+        vl = self.vl
+        base = self.x[ins.rs1] & _U32
+        indices = self.v[ins.rs2][:vl].view(np.int32)
+        gathered, latest = self._pipelined_gather(base, indices)
+        b = self.v[ins.rs3][:vl].view(np.float32)
+        acc = self.v[ins.rd][:vl].view(np.float32)
+        acc += gathered.view(np.float32) * b
+        unit.macs += 1
+        unit.gathered_elements += vl
+        cost = (latest - self.cycle) + self.lat.load_use + self.lat.vector_fp
+        self._charge("vector_mac_idx", cost)
         return pc + 1
 
     def _vf_binary(self, ins, pc, fn) -> int:

@@ -33,7 +33,10 @@ ENV_NO_CACHE = "REPRO_NO_CACHE"
 #: Bump when the cached JSON layout changes incompatibly.
 #: 3: the flattened config gained ``cpu.backend`` (execution backend is
 #: part of every key, so runs from different backends never alias).
-SCHEMA_VERSION = 3
+#: 4: accelerator front-ends (repro.accel) — specs carry the generic
+#: ``accelerators.*`` config section and new SpMV/SpMSpV variant names
+#: (``ssr``/``indexmac``); pre-front-end entries must never alias them.
+SCHEMA_VERSION = 4
 
 
 @lru_cache(maxsize=1)

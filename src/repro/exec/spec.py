@@ -49,10 +49,22 @@ def thaw_config(items: ConfigItems) -> SystemConfig:
 
 
 def _default_config_items(
-    config: SystemConfig | None, vlmax: int, n_buffers: int
+    config: SystemConfig | None, vlmax: int, n_buffers: int,
+    accel: str | None = None,
 ) -> ConfigItems:
+    """Freeze the config, materialising the named front-end if absent.
+
+    Appending the accelerator *before* freezing means SSR/IndexMAC specs
+    differ from HHT-only specs structurally (the ``accelerators.*``
+    section), not just by variant string — their cache keys can never
+    alias.
+    """
     if config is None:
         config = SystemConfig.paper_table1(vlmax=vlmax, n_buffers=n_buffers)
+    if accel not in (None, "hht") and all(
+        spec.kind != accel for spec in config.accelerator_specs()
+    ):
+        config = config.with_accelerator(accel)
     return freeze_config(config)
 
 
@@ -60,9 +72,11 @@ def _default_config_items(
 class RunSpec:
     """One simulation point (hashable, picklable, content-addressable).
 
-    ``variant`` selects within the kernel family: ``"baseline"``/``"hht"``
-    for SpMV, the mode (``"baseline"``/``"hht_v1"``/``"hht_v2"``) for
-    SpMSpV, and the firmware format name for the programmable HHT.
+    ``variant`` selects within the kernel family: the accelerator name
+    (``"baseline"``/``"hht"``/``"ssr"``/``"indexmac"``) for SpMV, the
+    mode (``"baseline"``/``"hht_v1"``/``"hht_v2"``/``"ssr"``/
+    ``"indexmac"``) for SpMSpV, and the firmware format name for the
+    programmable HHT.
     ``vector_sparsity < 0`` means "same as the matrix" (SpMSpV only).
     ``dnn_rows == 0`` means "all rows" for DNN-layer workloads.
     """
@@ -171,19 +185,43 @@ class RunSummary:
 # ---------------------------------------------------------------------------
 # Spec factories (one per harness entry point)
 # ---------------------------------------------------------------------------
+_UNSET = object()
+
+
+def _spmv_variant(hht, accel) -> str:
+    """Resolve the hht=/accel= pair to a RunSpec variant name."""
+    if accel is _UNSET:
+        return "hht" if hht else "baseline"
+    if hht is not None:
+        raise TypeError("pass either accel= or the hht= flag, not both")
+    return accel if accel is not None else "baseline"
+
+
 def spmv_spec(
-    shape: tuple[int, int], sparsity: float, *, hht: bool,
+    shape: tuple[int, int], sparsity: float, *,
+    hht: bool | None = None,
+    accel: str | None = _UNSET,  # type: ignore[assignment]
     matrix_seed: int = 0, vector_seed: int = 1,
     vlmax: int = 8, n_buffers: int = 2,
     config: SystemConfig | None = None, verify: bool = True,
 ) -> RunSpec:
-    """Synthetic-matrix SpMV point (baseline or ASIC HHT)."""
+    """Synthetic-matrix SpMV point.
+
+    ``accel`` names the front-end (``"hht"``, ``"ssr"``, ``"indexmac"``,
+    None for the pure-CPU baseline); the boolean ``hht=`` flag remains as
+    a compatible alias.
+    """
     rows, cols = shape
+    variant = _spmv_variant(hht, accel)
     return RunSpec(
-        kernel="spmv", variant="hht" if hht else "baseline",
+        kernel="spmv", variant=variant,
         rows=rows, cols=cols, sparsity=float(sparsity),
         matrix_seed=matrix_seed, vector_seed=vector_seed,
-        config=_default_config_items(config, vlmax, n_buffers), verify=verify,
+        config=_default_config_items(
+            config, vlmax, n_buffers,
+            accel=None if variant == "baseline" else variant,
+        ),
+        verify=verify,
     )
 
 
@@ -194,7 +232,11 @@ def spmspv_spec(
     vlmax: int = 8, n_buffers: int = 2,
     config: SystemConfig | None = None, verify: bool = True,
 ) -> RunSpec:
-    """Synthetic SpMSpV point; mode in {'baseline', 'hht_v1', 'hht_v2'}."""
+    """Synthetic SpMSpV point.
+
+    ``mode`` is one of ``'baseline'``, ``'hht_v1'``, ``'hht_v2'``,
+    ``'ssr'``, ``'indexmac'``.
+    """
     return RunSpec(
         kernel="spmspv", variant=mode,
         rows=size, cols=size, sparsity=float(sparsity),
@@ -202,7 +244,11 @@ def spmspv_spec(
             -1.0 if vector_sparsity is None else float(vector_sparsity)
         ),
         matrix_seed=matrix_seed, vector_seed=vector_seed,
-        config=_default_config_items(config, vlmax, n_buffers), verify=verify,
+        config=_default_config_items(
+            config, vlmax, n_buffers,
+            accel=mode if mode in ("ssr", "indexmac") else None,
+        ),
+        verify=verify,
     )
 
 
@@ -291,8 +337,9 @@ def execute(spec: RunSpec) -> RunSummary:
     elif spec.kernel == "spmv":
         v = random_dense_vector(matrix.ncols, seed=spec.vector_seed)
         run = run_spmv(
-            matrix, v, hht=(spec.variant == "hht"), vlmax=vlmax,
-            n_buffers=n_buffers, verify=spec.verify, config=cfg,
+            matrix, v,
+            accel=None if spec.variant == "baseline" else spec.variant,
+            vlmax=vlmax, n_buffers=n_buffers, verify=spec.verify, config=cfg,
         )
     else:  # spmv_programmable
         v = random_dense_vector(matrix.ncols, seed=spec.vector_seed)

@@ -22,7 +22,6 @@ duration of the run when some probe subscribed.
 
 from __future__ import annotations
 
-from ..core.hht import HHT
 from ..cpu.core import Cpu, CpuStats, SimulationError
 from ..isa.program import Program
 from ..memory.port import MemoryPort
@@ -159,14 +158,17 @@ class SimSession:
                 if self._port_hooks:
                     comp.probe_sink = sink
                     self._attached.append(comp)
-            elif isinstance(comp, HHT):
+            elif getattr(comp, "publishes_stream_events", False):
+                # Accelerator front-ends (HHT, SSR, ...) publish buffer
+                # fill / FIFO read events through the same sink.
                 if self._fill_hooks or self._fifo_hooks:
                     comp.probe_sink = sink
                     self._attached.append(comp)
                     # An engine created by an earlier START on the same
                     # device keeps publishing.
-                    if comp.engine is not None:
-                        comp.engine.probe_sink = sink
+                    engine = getattr(comp, "engine", None)
+                    if engine is not None:
+                        engine.probe_sink = sink
 
     def _start_probes(self) -> None:
         if self._started:
@@ -206,8 +208,9 @@ class SimSession:
     def _detach(self) -> None:
         for comp in self._attached:
             comp.probe_sink = None
-            if isinstance(comp, HHT) and comp.engine is not None:
-                comp.engine.probe_sink = None
+            engine = getattr(comp, "engine", None)
+            if engine is not None:
+                engine.probe_sink = None
         self._attached.clear()
 
     # ------------------------------------------------------------------

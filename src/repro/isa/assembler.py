@@ -289,6 +289,19 @@ def _parse_instr(p: _Parser, op: str, ops: list[str], text: str) -> Instr:
         if off != 0:
             raise p.error("vector gathers take a plain (reg) address")
         ins.rs2 = p.vreg(ops[2])
+    elif pattern == "vmacidx":
+        _check(p, op, ops, 4)
+        ins.rd = p.vreg(ops[0])
+        off, ins.rs1 = p.mem(ops[1])
+        if off != 0:
+            raise p.error("indexed MACs take a plain (reg) address")
+        ins.rs2, ins.rs3 = p.vreg(ops[2]), p.vreg(ops[3])
+    elif pattern == "fpop":
+        _check(p, op, ops, 2)
+        ins.rd, ins.imm = p.freg(ops[0]), p.imm(ops[1])
+    elif pattern == "vpop":
+        _check(p, op, ops, 2)
+        ins.rd, ins.imm = p.vreg(ops[0]), p.imm(ops[1])
     elif pattern == "v3":
         _check(p, op, ops, 3)
         ins.rd, ins.rs1, ins.rs2 = p.vreg(ops[0]), p.vreg(ops[1]), p.vreg(ops[2])

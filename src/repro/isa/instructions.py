@@ -61,6 +61,9 @@ class Instr:
 #   vload   op vd, (rs1)
 #   vstore  op vs3, (rs1)
 #   vgather op vd, (rs1), vs2
+#   vmacidx op vd, (rs1), vs2, vs3     (indexed gather + MAC, IndexMAC)
+#   fpop    op fd, imm                 (SSR stream pop, scalar)
+#   vpop    op vd, imm                 (SSR stream pop, vector)
 #   v3      op vd, va, vb              (element-wise, our operand order)
 #   vred    op vd, vs2, vs1            (ordered reduction)
 #   vx      op vd, vs2, rs1
@@ -121,6 +124,14 @@ _reg("vfmv.f.s", "vfmvfs")
 _reg("vfmv.s.f vfmv.v.f", "vfmvsf")
 _reg("vid.v", "vid")
 
+# Accelerator front-end extensions (repro.accel).  The handlers exist on
+# every CPU; executing one without the owning front-end configured is a
+# runtime SimulationError, mirroring an illegal-instruction trap.
+_reg("fssrpop", "fpop")          # SSR: pop one stream element to fd
+_reg("vssrpop.v", "vpop")        # SSR: pop vl stream elements to vd
+_reg("vlpidx.v", "vgather")      # IndexMAC: pipelined indexed gather
+_reg("vfmacidx", "vmacidx")      # IndexMAC: fused indexed gather + MAC
+
 
 # ---------------------------------------------------------------------------
 # Instruction classes for timing / energy accounting.
@@ -156,6 +167,9 @@ _cls("vadd.vv vsub.vv vmul.vv vand.vv vor.vv vxor.vv vredsum.vs vadd.vx "
      "vmul.vx vand.vx vor.vx vsll.vi vsrl.vi vadd.vi vand.vi vmv.v.i "
      "vmv.v.x vmv.s.x vid.v", "vector_int")
 _cls("halt ecall ebreak nopseudo", "system")
+_cls("fssrpop vssrpop.v", "ssr_pop")
+_cls("vlpidx.v", "vector_pgather")
+_cls("vfmacidx", "vector_mac_idx")
 
 
 def instruction_class(op: str) -> str:

@@ -1,6 +1,6 @@
 """Assembly kernels: SpMV and SpMSpV, baseline and HHT-assisted."""
 
-from .common import program_hht
+from .common import program_hht, program_ssr
 from .firmware import (
     FIRMWARES,
     firmware_spmv_bitvector,
@@ -16,18 +16,25 @@ from .spmspv import (
     spmspv_hht_aligned_vector,
     spmspv_hht_values_scalar,
     spmspv_hht_values_vector,
+    spmspv_indexmac_vector,
     spmspv_kernel,
+    spmspv_ssr_scalar,
+    spmspv_ssr_vector,
 )
 from .spmv import (
     spmv_baseline_scalar,
     spmv_baseline_vector,
     spmv_hht_scalar,
     spmv_hht_vector,
+    spmv_indexmac_vector,
     spmv_kernel,
+    spmv_ssr_scalar,
+    spmv_ssr_vector,
 )
 
 __all__ = [
     "program_hht",
+    "program_ssr",
     "FIRMWARES",
     "firmware_spmv_bitvector",
     "firmware_spmv_coo",
@@ -39,6 +46,9 @@ __all__ = [
     "spmv_baseline_vector",
     "spmv_hht_scalar",
     "spmv_hht_vector",
+    "spmv_ssr_scalar",
+    "spmv_ssr_vector",
+    "spmv_indexmac_vector",
     "spmv_kernel",
     "spmspv_baseline_scalar",
     "spmspv_baseline_vector",
@@ -46,5 +56,8 @@ __all__ = [
     "spmspv_hht_aligned_vector",
     "spmspv_hht_values_scalar",
     "spmspv_hht_values_vector",
+    "spmspv_ssr_scalar",
+    "spmspv_ssr_vector",
+    "spmspv_indexmac_vector",
     "spmspv_kernel",
 ]

@@ -51,5 +51,42 @@ def program_hht(mode: HHTMode, *, sparse_vector: bool, prefix: str = "m",
     return "\n".join(lines)
 
 
+def program_ssr(*, indirect: bool, prefix: str = "m",
+                vprefix: str = "sv") -> str:
+    """Emit the SSR stream configuration + START sequence.
+
+    The stream walks the matrix column indices; ``indirect`` selects the
+    SpMSpV shape (``vpad[map[col]]`` with the position map) over SpMV's
+    direct ``v[col]`` lookups.
+    """
+    writes = [
+        ("ssr_idx_base", f"{prefix}_cols"),
+        ("ssr_length", f"{prefix}_nnz"),
+    ]
+    if indirect:
+        writes += [
+            ("ssr_val_base", f"{vprefix}_vpad"),
+            ("ssr_map_base", f"{vprefix}_map"),
+            ("ssr_mode", "1"),
+        ]
+    else:
+        writes += [
+            ("ssr_val_base", "v"),
+            ("ssr_mode", "0"),
+        ]
+    lines = ["    # --- program the SSR stream ---"]
+    for reg, value in writes:
+        lines.append(f"    la t0, {reg}")
+        lines.append(f"    li t1, {value}")
+        lines.append("    sw t1, 0(t0)")
+    lines += [
+        "    # START bit is set last (begins the stream prefetch)",
+        "    la t0, ssr_start",
+        "    li t1, 1",
+        "    sw t1, 0(t0)",
+    ]
+    return "\n".join(lines)
+
+
 def kernel_header(comment: str) -> str:
     return f"# {comment}\n"

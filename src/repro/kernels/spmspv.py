@@ -15,12 +15,17 @@ that metadata chain:
   value (or zero) per matrix non-zero; the CPU keeps loading matrix
   values itself and multiply-accumulates everything, including the
   "wasted" zero products the paper discusses.
+
+The rival front-ends (``repro.accel``) get the same treatment: the SSR
+variants stream ``vpad[map[col]]`` through the indirect stream mode, and
+the IndexMAC variant fuses the second gather + MAC while the first
+indirection runs through the pipelined ``vlpidx.v`` gather.
 """
 
 from __future__ import annotations
 
 from ..core.config import HHTMode
-from .common import kernel_header, program_hht
+from .common import kernel_header, program_hht, program_ssr
 
 
 def spmspv_baseline_scalar() -> str:
@@ -266,8 +271,137 @@ done:
 """
 
 
+def spmspv_ssr_scalar() -> str:
+    """SSR indirect stream supplies vpad[map[col]], scalar CPU."""
+    return kernel_header("SpMSpV with SSR indirect stream, scalar CPU") + program_ssr(
+        indirect=True
+    ) + """
+    li   s0, m_num_rows
+    la   s1, m_rows
+    la   a3, m_vals
+    la   s5, y
+    beqz s0, done
+    li   t0, 0
+    lw   t2, 0(s1)
+row_loop:
+    lw   t3, 4(s1)
+    fmv.w.x fa0, zero
+    bge  t2, t3, store
+elem_loop:
+    fssrpop fa1, 0          # vpad[map[cols[k]]] from the stream
+    flw  fa2, 0(a3)
+    fmadd.s fa0, fa1, fa2, fa0
+    addi a3, a3, 4
+    addi t2, t2, 1
+    blt  t2, t3, elem_loop
+store:
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi s1, s1, 4
+    addi t0, t0, 1
+    blt  t0, s0, row_loop
+done:
+    halt
+"""
+
+
+def spmspv_ssr_vector() -> str:
+    """SSR indirect stream supplies vpad[map[col]], vector CPU."""
+    return kernel_header("SpMSpV with SSR indirect stream, vector CPU") + program_ssr(
+        indirect=True
+    ) + """
+    li   s0, m_num_rows
+    la   s1, m_rows
+    la   a3, m_vals
+    la   s5, y
+    beqz s0, done
+    li   t0, 0
+    lw   t2, 0(s1)
+row_loop:
+    lw   t3, 4(s1)
+    sub  t4, t3, t2
+    vsetvli t5, x0, e32, m1
+    vmv.v.i v0, 0
+    beqz t4, reduce
+chunk_loop:
+    vsetvli t5, t4, e32, m1
+    vle32.v v3, (a3)        # matrix values (unit-stride)
+    vssrpop.v v2, 0         # streamed vpad[map[...]] from the SSR
+    vfmacc.vv v0, v2, v3
+    slli t6, t5, 2
+    add  a3, a3, t6
+    sub  t4, t4, t5
+    bnez t4, chunk_loop
+reduce:
+    vsetvli t5, x0, e32, m1
+    fmv.w.x ft0, zero
+    vfmv.s.f v4, ft0
+    vfredosum.vs v4, v0, v4
+    vfmv.f.s fa0, v4
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi s1, s1, 4
+    mv   t2, t3
+    addi t0, t0, 1
+    blt  t0, s0, row_loop
+done:
+    halt
+"""
+
+
+def spmspv_indexmac_vector() -> str:
+    """IndexMAC: pipelined gather for map[col], fused gather+MAC for vpad."""
+    return kernel_header("SpMSpV with IndexMAC (pipelined double gather)") + """
+    li   s0, m_num_rows
+    la   s1, m_rows
+    la   a2, m_cols
+    la   a3, m_vals
+    la   s8, sv_map
+    la   s9, sv_vpad
+    la   s5, y
+    beqz s0, done
+    li   t0, 0
+    lw   t2, 0(s1)
+row_loop:
+    lw   t3, 4(s1)
+    sub  t4, t3, t2
+    vsetvli t5, x0, e32, m1
+    vmv.v.i v0, 0
+    beqz t4, reduce
+chunk_loop:
+    vsetvli t5, t4, e32, m1
+    vle32.v v1, (a2)        # column indices                    [meta]
+    vlpidx.v v6, (s8), v1   # pos = map[col], pipelined gather   [meta]
+    vle32.v v3, (a3)        # matrix values
+    vfmacidx v0, (s9), v6, v3   # v0 += vpad[pos] * vals (fused)
+    slli t6, t5, 2
+    add  a2, a2, t6
+    add  a3, a3, t6
+    sub  t4, t4, t5
+    bnez t4, chunk_loop
+reduce:
+    vsetvli t5, x0, e32, m1
+    fmv.w.x ft0, zero
+    vfmv.s.f v4, ft0
+    vfredosum.vs v4, v0, v4
+    vfmv.f.s fa0, v4
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi s1, s1, 4
+    mv   t2, t3
+    addi t0, t0, 1
+    blt  t0, s0, row_loop
+done:
+    halt
+"""
+
+
 def spmspv_kernel(*, mode: str, vector: bool) -> str:
-    """Dispatch helper: mode in {'baseline', 'hht_v1', 'hht_v2'}."""
+    """Dispatch helper.
+
+    ``mode`` is one of ``'baseline'``, ``'hht_v1'``, ``'hht_v2'``,
+    ``'ssr'``, ``'indexmac'``.
+    """
     table = {
         ("baseline", True): spmspv_baseline_vector,
         ("baseline", False): spmspv_baseline_scalar,
@@ -275,8 +409,15 @@ def spmspv_kernel(*, mode: str, vector: bool) -> str:
         ("hht_v1", False): spmspv_hht_aligned_scalar,
         ("hht_v2", True): spmspv_hht_values_vector,
         ("hht_v2", False): spmspv_hht_values_scalar,
+        ("ssr", True): spmspv_ssr_vector,
+        ("ssr", False): spmspv_ssr_scalar,
+        ("indexmac", True): spmspv_indexmac_vector,
     }
     try:
         return table[(mode, vector)]()
     except KeyError:
+        if mode == "indexmac" and not vector:
+            raise ValueError(
+                "the 'indexmac' front-end has no scalar SpMSpV variant"
+            ) from None
         raise ValueError(f"unknown SpMSpV kernel mode {mode!r}") from None

@@ -41,6 +41,14 @@ ENERGY_PER_OP_PJ = {
     "vector_fp": 16.0,
     "vector_int": 8.0,
     "system": 1.0,
+    # Accelerator front-end instructions (repro.accel): an SSR pop moves
+    # data from the stream queue (cheaper than a port-traversing load);
+    # the IndexMAC gathers pay the vector memory pipe without the
+    # serialised address-generation energy, and the fused MAC adds the
+    # vector FP datapath minus the saved operand-read energy.
+    "ssr_pop": 3.5,
+    "vector_pgather": 20.0,
+    "vector_mac_idx": 30.0,
 }
 
 #: Energy per 32-bit on-chip RAM access (pJ at 16 nm) — charged per port

@@ -111,6 +111,31 @@ def hht_area(config: HHTConfig | None = None) -> AreaBreakdown:
     )
 
 
+def ssr_gates(*, lookahead: int = 4) -> int:
+    """Gate count of one SSR stream unit.
+
+    Storage: the lookahead window holds value + ready-tag words, plus
+    the MMR file; logic: two address generators (index and value/map
+    paths) and a small control FSM.
+    """
+    queue_bits = lookahead * 2 * 32
+    mmr_bits = 7 * 32
+    storage = (queue_bits + mmr_bits) * GATES_PER_BIT
+    address_gen = 2 * 343       # same adder/shifter block as the HHT's
+    control = 400
+    return storage + address_gen + control
+
+
+def indexmac_gates() -> int:
+    """Gate count of the IndexMAC vector-unit extension.
+
+    No storage beyond a request-issue counter: the instruction reuses
+    the vector register file and memory pipe, adding index scaling, the
+    per-cycle issue sequencer and MAC-merge control.
+    """
+    return 343 + 32 * GATES_PER_BIT + 650
+
+
 def area_ratio_vs_ibex(config: HHTConfig | None = None) -> float:
     """HHT area as a fraction of the Ibex core (paper: ~0.389)."""
     return hht_area(config).total_gates / IBEX_GATES

@@ -15,6 +15,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 
+from ..accel import AcceleratorConfig, front_end
 from ..core.config import HHTConfig
 from ..cpu.timing import CpuConfig, LatencyTable
 from ..memory.cache import CacheConfig
@@ -42,6 +43,13 @@ class SystemConfig:
     #: Optional L1D (the Section 3.2 high-performance integration);
     #: None = the Table-1 flat-SRAM MCU.
     cache: CacheConfig | None = None
+    #: Generic accelerator section.  None (the default) is the legacy
+    #: HHT-only view: ``hht``/``n_hhts`` describe one HHT front-end, and
+    #: the flattened form carries no ``accelerators.*`` keys — existing
+    #: content keys are bit-identical.  When set, the tuple lists the
+    #: attached front-ends in bus-window order and overrides ``n_hhts``
+    #: (HHT entries still read their geometry from ``hht``).
+    accelerators: tuple[AcceleratorConfig, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.ram_bytes <= 0 or self.ram_bytes % 4:
@@ -52,6 +60,44 @@ class SystemConfig:
             raise ValueError(f"banks must be >= 1, got {self.banks}")
         if self.n_hhts < 1:
             raise ValueError(f"n_hhts must be >= 1, got {self.n_hhts}")
+        if self.accelerators is not None:
+            self.accelerators = tuple(self.accelerators)
+            for spec in self.accelerators:
+                if not isinstance(spec, AcceleratorConfig):
+                    raise ValueError(
+                        f"accelerators entries must be AcceleratorConfig, "
+                        f"got {spec!r}"
+                    )
+                front_end(spec.kind)  # raises on unregistered kinds
+            kinds = [s.kind for s in self.accelerators]
+            if len(kinds) != len(set(kinds)):
+                raise ValueError(
+                    f"duplicate accelerator kinds: {kinds} (raise count= "
+                    "instead of repeating an entry)"
+                )
+
+    def accelerator_specs(self) -> tuple[AcceleratorConfig, ...]:
+        """The effective accelerator list (legacy view = one HHT entry)."""
+        if self.accelerators is None:
+            return (AcceleratorConfig(kind="hht", count=self.n_hhts),)
+        return self.accelerators
+
+    def with_accelerator(self, kind: str, *, count: int = 1,
+                         lookahead: int = 4) -> "SystemConfig":
+        """A copy whose ``accelerators`` section includes *kind*.
+
+        A no-op copy if the kind is already configured; otherwise the
+        new entry is appended after the existing ones (so the legacy
+        HHT keeps its bus window and symbols).
+        """
+        specs = list(self.accelerator_specs())
+        if not any(s.kind == kind for s in specs):
+            specs.append(
+                AcceleratorConfig(kind=kind, count=count, lookahead=lookahead)
+            )
+        from dataclasses import replace
+
+        return replace(self, accelerators=tuple(specs))
 
     @classmethod
     def paper_table1(cls, *, vlmax: int = 8, n_buffers: int = 2) -> "SystemConfig":
@@ -72,7 +118,11 @@ class SystemConfig:
 
         The flattened form is order-independent, JSON-serialisable and
         complete: :meth:`from_flat` reconstructs an equal configuration.
-        ``cache`` flattens to a single ``None`` entry when absent.
+        ``cache`` flattens to a single ``None`` entry when absent, and
+        the ``accelerators`` section — a *tuple*, not a mapping — is
+        flattened manually to indexed scalar keys
+        (``accelerators.0.kind`` ...) and omitted entirely when None, so
+        legacy flat dicts and content keys are bit-identical.
         """
         flat: dict[str, object] = {}
 
@@ -83,7 +133,13 @@ class SystemConfig:
             else:
                 flat[prefix] = value
 
-        emit("", asdict(self))
+        data = asdict(self)
+        accelerators = data.pop("accelerators")
+        emit("", data)
+        if accelerators is not None:
+            for i, spec in enumerate(accelerators):
+                for key in sorted(spec):
+                    flat[f"accelerators.{i}.{key}"] = spec[key]
         return flat
 
     @classmethod
@@ -99,6 +155,13 @@ class SystemConfig:
         cpu_fields = dict(nested.get("cpu", {}))
         latencies = LatencyTable.from_dict(cpu_fields.pop("latencies", {}))
         cache_fields = nested.get("cache")
+        accel_fields = nested.get("accelerators")
+        accelerators = None
+        if isinstance(accel_fields, dict):
+            accelerators = tuple(
+                AcceleratorConfig.from_dict(accel_fields[index])
+                for index in sorted(accel_fields, key=int)
+            )
         return cls(
             ram_bytes=int(nested.get("ram_bytes", cls.ram_bytes)),
             ram_latency=int(nested.get("ram_latency", cls.ram_latency)),
@@ -110,6 +173,7 @@ class SystemConfig:
                 CacheConfig.from_dict(cache_fields)
                 if isinstance(cache_fields, dict) else None
             ),
+            accelerators=accelerators,
         )
 
     def content_key(self) -> str:
@@ -120,15 +184,24 @@ class SystemConfig:
         return hashlib.sha256(blob.encode()).hexdigest()
 
     def describe(self) -> str:
-        """Render the configuration in the shape of the paper's Table 1."""
+        """Render the configuration in the shape of the paper's Table 1.
+
+        The accelerator block is derived from the registered front-ends
+        (each contributes its ``summary_lines``), so the summary covers
+        whatever ``accelerators:`` configures; the legacy HHT-only view
+        renders byte-identically to the historic hard-coded table.
+        """
+        specs = self.accelerator_specs()
         lines = [
             ("Core", "RISCV ISA with 32 bit Floating-point Extensions"),
             ("", f"Frequency = {self.cpu.frequency_hz / 1e9:.1f} GHz"),
             ("", f"Vector width (VL) = {self.cpu.vlmax} Elements"),
             ("", "Element Size (SEW) = 32 bit"),
             ("", f"Vector Arithmetic Latency = {self.cpu.latencies.vector_fp} cycles"),
-            ("ASIC HHT", f"N={self.hht.n_buffers} Buffers"),
-            ("", f"Buffer size = {self.hht.buffer_bytes}B"),
+        ]
+        for spec in specs:
+            lines.extend(front_end(spec.kind).summary_lines(self, spec))
+        lines += [
             ("RAM", f"Size = {self.ram_bytes // (1 << 20)}MB"
                     if self.ram_bytes >= (1 << 20)
                     else f"Size = {self.ram_bytes // 1024}KB"),
@@ -136,8 +209,10 @@ class SystemConfig:
         ]
         if self.banks > 1:
             lines.append(("", f"Banks = {self.banks} (word-interleaved)"))
-        if self.n_hhts > 1:
-            lines.append(("", f"HHT instances = {self.n_hhts}"))
+        for spec in specs:
+            if spec.count > 1:
+                label = front_end(spec.kind).instances_label or spec.kind
+                lines.append(("", f"{label} instances = {spec.count}"))
         if self.cache is not None:
             lines.append(
                 ("L1D", f"{self.cache.size_bytes // 1024}KB, "

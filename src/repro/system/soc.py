@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..accel import BuildContext, front_end
 from ..component import (
     SimComponent,
     cache_stats_view,
@@ -127,7 +128,9 @@ class Soc(SimComponent):
         │   └── mem (transparent)
         │       ├── ram port         (soc.ram.*)
         │       └── l1d, if cached   (soc.l1d.*)
-        └── hht[, hht0, hht1, ...]   (soc.hht.* / soc.hht<i>.*)
+        └── accelerators             (soc.hht.*, soc.ssr.*, ... — one
+                                      node per configured front-end
+                                      instance, indexed when count > 1)
 
     ``reset()`` propagates to every node; ``stats()`` flattens every
     counter into the registry a :class:`RunResult` carries.
@@ -150,27 +153,49 @@ class Soc(SimComponent):
         self.cpu = Cpu(self.bus, self.config.cpu)
         self.add_child(self.cpu)
         self.add_child(self.bus)
-        # One HHT keeps the paper's names ("hht" component, "hht" port
-        # requester, unprefixed MMR symbols); more get an index each.
-        n_hhts = self.config.n_hhts
-        self.hhts: list[HHT] = []
-        for i in range(n_hhts):
-            name = "hht" if n_hhts == 1 else f"hht{i}"
-            hht = HHT(self.config.hht, self.ram, self.bus.mem, name=name)
-            self.bus.attach_device(
-                HHT_BASE + i * MMR.REGION_SIZE, MMR.REGION_SIZE, hht
-            )
-            self.add_child(hht)
-            self.hhts.append(hht)
-        self.hht = self.hhts[0]
         self.layout = MemoryLayout(self.ram, base=0x100)
-        self._symbols: dict[str, int] = dict(_MMR_SYMBOLS)
-        for i in range(1, n_hhts):
-            base = HHT_BASE + i * MMR.REGION_SIZE
-            for sym, addr in _MMR_SYMBOLS.items():
-                self._symbols[f"{sym.replace('hht_', f'hht{i}_', 1)}"] = (
-                    addr - HHT_BASE + base
+        self._symbols: dict[str, int] = {}
+        # Accelerator front-ends, built from the config's (possibly
+        # implicit) accelerators section through the registry.  MMIO
+        # windows are assigned from a cursor starting at the legacy HHT
+        # base, so the single-HHT system keeps the paper's addresses,
+        # names ("hht" component, "hht" port requester) and unprefixed
+        # MMR symbols; extra instances of a kind get an index each, with
+        # the first instance keeping the unprefixed symbols.
+        self.accelerators: list[SimComponent] = []
+        mmio_cursor = HHT_BASE
+        for spec in self.config.accelerator_specs():
+            fe = front_end(spec.kind)
+            for i in range(spec.count):
+                name = spec.kind if spec.count == 1 else f"{spec.kind}{i}"
+                ctx = BuildContext(
+                    config=self.config,
+                    spec=spec,
+                    index=i,
+                    name=name,
+                    symbol_prefix=spec.kind if i == 0 else f"{spec.kind}{i}",
+                    mmio_base=mmio_cursor,
+                    ram=self.ram,
+                    bus=self.bus,
+                    mem=self.bus.mem,
+                    cpu=self.cpu,
+                    add_component=self._add_accelerator,
+                    symbols=self._symbols,
                 )
+                claimed = fe.build(ctx)
+                if claimed:
+                    # Keep legacy spacing: every window spans at least
+                    # one HHT region so pre-refactor addresses hold.
+                    mmio_cursor += max(int(claimed), MMR.REGION_SIZE)
+        self.hhts: list[HHT] = [
+            comp for comp in self.accelerators if isinstance(comp, HHT)
+        ]
+        self.hht = self.hhts[0] if self.hhts else None
+
+    def _add_accelerator(self, component: SimComponent) -> None:
+        """Build-context callback: adopt a front-end's component."""
+        self.add_child(component)
+        self.accelerators.append(component)
 
     # ------------------------------------------------------------------
     # Data placement
@@ -195,6 +220,7 @@ class Soc(SimComponent):
         }
         self._symbols[f"{prefix}_num_rows"] = matrix.nrows
         self._symbols[f"{prefix}_num_cols"] = matrix.ncols
+        self._symbols[f"{prefix}_nnz"] = matrix.nnz
         return bases
 
     def load_dense_vector(self, v: np.ndarray, name: str = "v") -> int:
@@ -304,30 +330,3 @@ class Soc(SimComponent):
     def read_output(self, name: str, count: int, dtype=np.float32) -> np.ndarray:
         seg = self.layout[name]
         return self.ram.read_array(seg.base, count, dtype)
-
-
-#: Symbolic names for the HHT's memory-mapped registers and FIFOs.
-_MMR_SYMBOLS = {
-    "hht_base": HHT_BASE,
-    "hht_m_num_rows": HHT_BASE + MMR.M_NUM_ROWS,
-    "hht_m_rows_base": HHT_BASE + MMR.M_ROWS_BASE,
-    "hht_m_cols_base": HHT_BASE + MMR.M_COLS_BASE,
-    "hht_m_vals_base": HHT_BASE + MMR.M_VALS_BASE,
-    "hht_v_base": HHT_BASE + MMR.V_BASE,
-    "hht_v_nnz": HHT_BASE + MMR.V_NNZ,
-    "hht_v_idx_base": HHT_BASE + MMR.V_IDX_BASE,
-    "hht_v_vals_base": HHT_BASE + MMR.V_VALS_BASE,
-    "hht_v_map_base": HHT_BASE + MMR.V_MAP_BASE,
-    "hht_elem_size": HHT_BASE + MMR.ELEM_SIZE,
-    "hht_mode": HHT_BASE + MMR.MODE,
-    "hht_start": HHT_BASE + MMR.START,
-    "hht_status": HHT_BASE + MMR.STATUS,
-    "hht_m_num_cols": HHT_BASE + MMR.M_NUM_COLS,
-    "hht_aux0": HHT_BASE + MMR.AUX0,
-    "hht_aux1": HHT_BASE + MMR.AUX1,
-    "hht_aux2": HHT_BASE + MMR.AUX2,
-    "hht_aux3": HHT_BASE + MMR.AUX3,
-    "hht_vval_fifo": HHT_BASE + MMR.VVAL_FIFO,
-    "hht_mval_fifo": HHT_BASE + MMR.MVAL_FIFO,
-    "hht_count_fifo": HHT_BASE + MMR.COUNT_FIFO,
-}

@@ -34,7 +34,17 @@ from pathlib import Path
 #: floor is numpy ufunc latency, recorded separately as
 #: ``host.vector_instructions_per_sec``).  Old /1 documents measured a
 #: different workload, so cross-schema comparison fails outright.
+#:
+#: Schema note — additive metrics do NOT bump the schema: comparison
+#: iterates the *baseline's* metric keys, so a newer run carrying extra
+#: keys (e.g. the ``compare.*`` accelerator bake-off geomeans added with
+#: the front-end layer) still diffs cleanly against an older baseline.
 BENCH_SCHEMA = "repro-bench/2"
+
+#: Sparsity points for the bench's accelerator bake-off metrics: a
+#: three-point subset of the paper sweep keeps the added simulation
+#: cost small while still averaging across sparsity regimes.
+COMPARE_BENCH_SPARSITIES = (0.3, 0.5, 0.7)
 
 #: Default sweep size: large enough for stable geomeans, small enough
 #: that a cold-cache CI run stays in single-digit seconds.
@@ -80,7 +90,7 @@ def _measure_interpreter(rounds: int = 3, *,
     soc.load_csr(matrix)
     soc.load_dense_vector(v)
     soc.allocate_output(matrix.nrows)
-    program = soc.assemble(spmv_kernel(hht=False, vector=vector))
+    program = soc.assemble(spmv_kernel(accel=None, vector=vector))
 
     best = float("inf")
     instructions = 0
@@ -125,6 +135,21 @@ def collect_bench(size: int | None = None, *,
             metric(f"fig7.spmspv_cpu_wait_mean.{variant}_{buffers}",
                    _mean(p.cpu_wait_fraction for p in points), "lower",
                    "fraction")
+
+    # Accelerator bake-off: geomean speedup of every front-end (and the
+    # vector CPU) over the scalar CPU, on the reduced sparsity subset.
+    from ..analysis.experiments import (
+        COMPARE_SERIES,
+        accelerator_sweep,
+        compare_geomean_speedup,
+    )
+
+    compare_cycles = accelerator_sweep(size, 8, COMPARE_BENCH_SPARSITIES)
+    for name in COMPARE_SERIES:
+        if name == "scalar":
+            continue
+        metric(f"compare.spmv_speedup_geomean.{name}",
+               compare_geomean_speedup(compare_cycles, name), "higher", "x")
 
     ips, instructions = _measure_interpreter(rounds=interpreter_rounds)
     metric("host.interpreter_instructions_per_sec", ips, "info", "1/s")

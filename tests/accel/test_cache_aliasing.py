@@ -1,0 +1,72 @@
+"""Cache addressing across accelerator front-ends (SCHEMA_VERSION 4).
+
+An HHT-only spec must never alias an SSR or IndexMAC spec: the variant
+name is part of the content hash, the appended ``accelerators.*``
+config items separate the configs structurally, and the schema bump
+retires every pre-front-end cache entry.
+"""
+
+from repro.exec import cache_key, spmspv_spec, spmv_spec
+from repro.exec.cache import SCHEMA_VERSION
+
+POINT = dict(sparsity=0.5, matrix_seed=1, vector_seed=2)
+
+
+class TestSpmvNonAliasing:
+    def test_every_variant_has_a_distinct_key(self):
+        keys = {
+            accel: cache_key(spmv_spec((16, 16), accel=accel, **POINT))
+            for accel in (None, "hht", "ssr", "indexmac")
+        }
+        assert len(set(keys.values())) == 4
+
+    def test_legacy_hht_flag_aliases_accel_name(self):
+        # Same point addressed through the old and new selectors is the
+        # same cache entry — the shim must not split the cache.
+        legacy = spmv_spec((16, 16), hht=True, **POINT)
+        named = spmv_spec((16, 16), accel="hht", **POINT)
+        assert cache_key(legacy) == cache_key(named)
+
+    def test_hht_config_carries_no_accelerators_section(self):
+        # Structural separation: only rival front-ends materialize the
+        # generic config section, so legacy points hash the exact flat
+        # dict they always did.
+        for accel in (None, "hht"):
+            spec = spmv_spec((16, 16), accel=accel, **POINT)
+            assert not any(
+                k.startswith("accelerators") for k, _ in spec.config
+            )
+        for accel in ("ssr", "indexmac"):
+            spec = spmv_spec((16, 16), accel=accel, **POINT)
+            assert any(
+                k == "accelerators.1.kind" and val == accel
+                for k, val in spec.config
+            )
+
+
+class TestSpmspvNonAliasing:
+    def test_rival_modes_have_distinct_keys(self):
+        keys = {
+            mode: cache_key(spmspv_spec(16, mode=mode, **POINT))
+            for mode in ("baseline", "hht_v1", "hht_v2", "ssr", "indexmac")
+        }
+        assert len(set(keys.values())) == 5
+
+
+class TestSchemaBump:
+    def test_schema_version_is_4(self):
+        assert SCHEMA_VERSION == 4
+
+    def test_schema_versions_entry_format(self):
+        # The key embeds the schema version, so any v3 entry written by a
+        # pre-front-end build is unreachable from v4 and vice versa.
+        spec = spmv_spec((16, 16), accel="hht", **POINT)
+        import repro.exec.cache as cache_mod
+
+        v4 = cache_key(spec)
+        try:
+            cache_mod.SCHEMA_VERSION = 3
+            v3 = cache_key(spec)
+        finally:
+            cache_mod.SCHEMA_VERSION = 4
+        assert v3 != v4

@@ -1,0 +1,119 @@
+"""`accelerators:` config round-trips and legacy bit-identity.
+
+The refactor's contract: a config that never mentions ``accelerators``
+flattens, hashes and describes exactly as it did when the HHT was
+hard-wired — the generic section only appears once it is used.
+"""
+
+from repro.accel import AcceleratorConfig
+from repro.system import SystemConfig
+from repro.system.soc import Soc
+
+
+class TestLegacyBitIdentity:
+    def test_legacy_flat_has_no_accelerators_keys(self):
+        for cfg in (
+            SystemConfig.paper_table1(),
+            SystemConfig(n_hhts=3, banks=4),
+        ):
+            assert not any(
+                k.startswith("accelerators") for k in cfg.to_flat()
+            )
+
+    def test_legacy_describe_is_hht_only(self):
+        text = SystemConfig.paper_table1().describe()
+        assert "ASIC HHT  N=2 Buffers" in text
+        assert "SSR" not in text
+        assert "IndexMAC" not in text
+
+    def test_legacy_content_key_ignores_accel_layer(self):
+        # Same fields -> same key, whether or not the accel registry has
+        # been imported/used elsewhere in the process.
+        a = SystemConfig.paper_table1().content_key()
+        b = SystemConfig.paper_table1().content_key()
+        assert a == b
+
+    def test_legacy_soc_symbols_unchanged(self):
+        soc = Soc(SystemConfig.paper_table1())
+        # Unprefixed HHT symbols at the historic MMIO base.
+        assert soc.symbols["hht_base"] == 0x4000_0000
+        assert soc.symbols["hht_vval_fifo"] == 0x4000_0040
+        assert "ssr_base" not in soc.symbols
+
+    def test_legacy_multi_hht_symbols_unchanged(self):
+        soc = Soc(SystemConfig(n_hhts=2))
+        assert soc.symbols["hht_base"] == 0x4000_0000
+        assert soc.symbols["hht1_base"] == 0x4000_0100
+        assert soc.hht is soc.hhts[0]
+        assert len(soc.hhts) == 2
+
+
+class TestAcceleratorsRoundTrip:
+    def test_flat_round_trip(self):
+        cfg = SystemConfig.paper_table1().with_accelerator(
+            "ssr", lookahead=8
+        )
+        thawed = SystemConfig.from_flat(cfg.to_flat())
+        assert thawed == cfg
+        assert [s.kind for s in thawed.accelerator_specs()] == ["hht", "ssr"]
+        assert thawed.accelerators[1].lookahead == 8
+
+    def test_flat_keys_are_scalar_and_dotted(self):
+        cfg = SystemConfig.paper_table1().with_accelerator("indexmac")
+        flat = cfg.to_flat()
+        accel_keys = {k for k in flat if k.startswith("accelerators.")}
+        assert "accelerators.0.kind" in accel_keys
+        assert "accelerators.1.kind" in accel_keys
+        for key in accel_keys:
+            assert isinstance(flat[key], (str, int))
+
+    def test_order_preserved_through_round_trip(self):
+        cfg = (
+            SystemConfig.paper_table1()
+            .with_accelerator("indexmac")
+            .with_accelerator("ssr")
+        )
+        thawed = SystemConfig.from_flat(cfg.to_flat())
+        assert [s.kind for s in thawed.accelerator_specs()] == [
+            "hht", "indexmac", "ssr",
+        ]
+
+    def test_content_key_distinguishes_accelerator_sets(self):
+        base = SystemConfig.paper_table1()
+        ssr = base.with_accelerator("ssr")
+        imac = base.with_accelerator("indexmac")
+        keys = {base.content_key(), ssr.content_key(), imac.content_key()}
+        assert len(keys) == 3
+
+    def test_accelerators_override_n_hhts(self):
+        cfg = SystemConfig(
+            n_hhts=3,
+            accelerators=(AcceleratorConfig(kind="hht", count=1),),
+        )
+        specs = cfg.accelerator_specs()
+        assert len(specs) == 1
+        assert specs[0].count == 1
+
+
+class TestAcceleratedSoc:
+    def test_ssr_lands_after_hht_window(self):
+        soc = Soc(SystemConfig.paper_table1().with_accelerator("ssr"))
+        assert soc.symbols["hht_base"] == 0x4000_0000
+        assert soc.symbols["ssr_base"] == 0x4000_0100
+        assert soc.cpu.ssr is not None
+
+    def test_indexmac_claims_no_mmio(self):
+        cfg = SystemConfig.paper_table1().with_accelerator("indexmac")
+        soc = Soc(cfg)
+        assert soc.cpu.indexmac is not None
+        assert not any(k.startswith("indexmac_") for k in soc.symbols)
+
+    def test_accelerators_in_stats_registry(self):
+        cfg = (
+            SystemConfig.paper_table1()
+            .with_accelerator("ssr")
+            .with_accelerator("indexmac")
+        )
+        stats = Soc(cfg).stats()
+        assert any(k.startswith("soc.ssr.") for k in stats)
+        assert any(k.startswith("soc.indexmac.") for k in stats)

@@ -80,6 +80,32 @@ class TestSpmspv:
         assert "matrix 50% / vector 9" in out
 
 
+class TestCompare:
+    def test_one_command_emits_figure_and_table(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "compare", "--size", "24",
+            "--out", str(tmp_path), "--jobs", "1",
+        )
+        assert code == 0
+        # The figure: speedups over the scalar CPU, with geomean notes.
+        assert "speedup over scalar CPU" in out
+        for name in ("vector", "hht", "ssr", "indexmac"):
+            assert f"{name}: geomean speedup" in out
+        # The table: raw cycles for all five series.
+        assert "cycles per accelerator front-end" in out
+        # Artifacts: both tables in all three formats.
+        for stem in ("compare_speedup", "compare_cycles"):
+            for ext in ("txt", "csv", "json"):
+                assert (tmp_path / f"{stem}.{ext}").exists()
+
+    def test_figure_alias(self, capsys):
+        # Rides the lru-cached sweep from the test above when run in the
+        # same process; standalone it just recomputes.
+        code, out = run_cli(capsys, "figure", "compare", "--size", "24")
+        assert code == 0
+        assert "speedup over scalar CPU" in out
+
+
 class TestFigure:
     def test_table1(self, capsys):
         code, out = run_cli(capsys, "figure", "table1")
@@ -285,7 +311,7 @@ class TestBenchCommand:
             capsys, "bench", "--size", "24", "--out", str(out_path)
         )
         assert code == 0
-        assert "14 metrics" in out
+        assert "18 metrics" in out
         payload = json.loads(out_path.read_text())
         assert payload["schema"] == "repro-bench/2"
         assert payload["suite"]["size"] == 24

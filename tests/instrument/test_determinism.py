@@ -180,14 +180,14 @@ class TestGoldenTraces:
 
 
 class TestSummaryShape:
-    """RunSummary's serialised shape is unchanged; SCHEMA_VERSION is 3
-    because the flattened config (and so every cache key) now carries
-    ``cpu.backend``."""
+    """RunSummary's serialised shape is unchanged; SCHEMA_VERSION is 4
+    because specs can now carry the generic ``accelerators.*`` config
+    section and the new SpMV/SpMSpV variant names."""
 
     def test_schema_version(self):
         from repro.exec.cache import SCHEMA_VERSION
 
-        assert SCHEMA_VERSION == 3
+        assert SCHEMA_VERSION == 4
 
     def test_backend_in_cache_key(self, workload):
         from repro.exec import RunSpec

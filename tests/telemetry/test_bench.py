@@ -46,6 +46,10 @@ class TestCollect:
             "fig7.spmspv_cpu_wait_mean.v1_2buf": "lower",
             "fig7.spmspv_cpu_wait_mean.v2_1buf": "lower",
             "fig7.spmspv_cpu_wait_mean.v2_2buf": "lower",
+            "compare.spmv_speedup_geomean.vector": "higher",
+            "compare.spmv_speedup_geomean.hht": "higher",
+            "compare.spmv_speedup_geomean.ssr": "higher",
+            "compare.spmv_speedup_geomean.indexmac": "higher",
             "host.interpreter_instructions_per_sec": "info",
             "host.vector_instructions_per_sec": "info",
         }
@@ -56,7 +60,7 @@ class TestCollect:
 
     def test_speedups_beat_baseline(self, bench):
         for key, entry in bench["metrics"].items():
-            if key.startswith(("fig4", "fig5")):
+            if key.startswith(("fig4", "fig5", "compare")):
                 assert entry["value"] > 1.0, f"{key} shows no speedup"
 
     def test_round_trip(self, bench, tmp_path):
