@@ -19,6 +19,9 @@ Commands:
   port's contention histogram; ``--sample N`` adds a stats time-series.
 * ``bench`` — run the headline suite, write schema-versioned JSON, and
   optionally gate against a committed baseline (``--compare``).
+* ``cache`` — inspect the persistent result cache: ``info`` (shape),
+  ``verify`` (read-only integrity scan; exit 1 on corruption) and
+  ``prune`` (delete corrupt/stale/leftover files).
 * ``compare`` — bake off every accelerator front-end (scalar/vector CPU
   vs HHT vs SSR vs IndexMAC) across the sparsity sweep and emit the
   speedup figure + cycles table (``--out`` writes .txt/.csv/.json).
@@ -49,7 +52,7 @@ FIGURES = {
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
-    """--jobs / --no-cache for every command that runs sweeps."""
+    """--jobs / --no-cache / fault-policy flags for sweep commands."""
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for the sweep engine "
@@ -59,6 +62,30 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="bypass the persistent result cache "
              "($REPRO_CACHE_DIR, default ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-spec wall-clock budget; a spec running longer fails "
+             "with SpecTimeout (default: $REPRO_TIMEOUT, else unlimited)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="whole-batch wall-clock budget "
+             "(default: $REPRO_DEADLINE, else unlimited)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts for a crashed/timed-out/flaky spec, with "
+             "exponential backoff (default: $REPRO_RETRIES, else 0)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "skip", "collect"), default=None,
+        help="disposition of a spec whose retries are exhausted "
+             "(default: $REPRO_ON_ERROR, else 'raise')",
+    )
+    parser.add_argument(
+        "--failure-report", type=Path, default=None, metavar="OUT",
+        help="write the sweep's structured failure report as JSON",
     )
 
 
@@ -213,6 +240,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="relative regression threshold for --compare "
                             "(default 0.05)")
     _add_engine_args(bench)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or repair the persistent result cache",
+    )
+    cache.add_argument("action", choices=("info", "verify", "prune"),
+                       help="info: shape and schema histogram; verify: "
+                            "read-only integrity scan (exit 1 on "
+                            "corruption); prune: delete corrupt, stale "
+                            "and leftover files")
+    cache.add_argument("--dir", type=Path, default=None, metavar="ROOT",
+                       help="cache directory (default: $REPRO_CACHE_DIR, "
+                            "else ~/.cache/repro)")
+    cache.add_argument("--json", action="store_true",
+                       help="emit the result as JSON")
 
     compare = sub.add_parser(
         "compare",
@@ -572,6 +614,57 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    """Inspect or repair the persistent result cache."""
+    import json
+
+    from .exec import ResultCache
+
+    cache = ResultCache(args.dir) if args.dir is not None else ResultCache()
+    if args.action == "info":
+        info = cache.info()
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        print(f"cache root      : {info['root']}")
+        print(f"schema version  : {info['schema_version']}")
+        print(f"entries         : {info['entries']} "
+              f"({info['total_bytes']:,} bytes)")
+        for schema, count in sorted(info["schemas"].items()):
+            print(f"  schema {schema:<9}: {count}")
+        print(f"quarantined     : {info['quarantined_files']}")
+        print(f"tmp leftovers   : {info['tmp_files']}")
+        return 0
+    if args.action == "verify":
+        audit = cache.verify()
+        if args.json:
+            print(json.dumps(audit.to_json_dict(), indent=2, sort_keys=True))
+            return 0 if audit.clean else 1
+        print(f"verified {audit.scanned} entries under {audit.root}: "
+              f"{audit.ok} ok, {audit.foreign_schema} stale (other schema), "
+              f"{len(audit.corrupt)} corrupt, "
+              f"{audit.quarantined_files} quarantined, "
+              f"{audit.tmp_files} tmp leftovers")
+        for item in audit.corrupt:
+            print(f"  CORRUPT {item['path']}: {item['reason']}")
+        if not audit.clean:
+            print("INTEGRITY FAILURES FOUND (run `repro cache prune` "
+                  "to remove them)")
+            return 1
+        return 0
+    removed = cache.prune()
+    if args.json:
+        print(json.dumps(removed, indent=2, sort_keys=True))
+        return 0
+    print(f"pruned {cache.root}: "
+          f"{removed['corrupt']} corrupt, "
+          f"{removed['foreign_schema']} stale, "
+          f"{removed['quarantined']} quarantined, "
+          f"{removed['tmp']} tmp "
+          f"({removed['bytes_freed']:,} bytes freed)")
+    return 0
+
+
 def _cmd_compare(args) -> int:
     """Bake off every accelerator front-end and emit figure + table."""
     from .analysis import (
@@ -609,6 +702,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "timeline": _cmd_timeline,
     "bench": _cmd_bench,
+    "cache": _cmd_cache,
     "compare": _cmd_compare,
 }
 
@@ -629,6 +723,10 @@ def main(argv: list[str] | None = None) -> int:
         configure(
             jobs=args.jobs,
             use_cache=False if args.no_cache else None,
+            timeout=args.timeout,
+            deadline=args.deadline,
+            retries=args.retries,
+            on_error=args.on_error,
         )
         reset_session_stats()  # the throughput line is per invocation
     try:
@@ -639,8 +737,18 @@ def main(argv: list[str] | None = None) -> int:
         from .exec import session_stats
 
         stats = session_stats()
-        if stats.total:
+        if stats.total or stats.failed:
             print(stats.throughput_line())
+        report = stats.failure_report
+        for line in report.summary_lines():
+            print(f"  {line}")
+        if args.failure_report is not None:
+            import json
+
+            args.failure_report.parent.mkdir(parents=True, exist_ok=True)
+            args.failure_report.write_text(
+                json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+            print(f"failure report written to {args.failure_report}")
     return status
 
 

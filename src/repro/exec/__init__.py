@@ -1,20 +1,29 @@
-"""Parallel sweep engine with a content-addressed run cache.
+"""Fault-tolerant parallel sweep engine with an integrity-checked cache.
 
 The experiment harness expresses every simulation as a picklable
 :class:`RunSpec`; :func:`run_specs` deduplicates a batch, serves
-already-simulated points from the persistent cache and fans the rest
-out across worker processes.  See :mod:`repro.exec.spec`,
-:mod:`repro.exec.cache` and :mod:`repro.exec.engine`.
+already-simulated points from the persistent cache (quarantining
+corrupt entries), and fans the rest out across worker processes — one
+future per spec, under an :class:`ExecPolicy` of timeouts, bounded
+retries and failure disposition, surviving worker crashes by pool
+resurrection.  :mod:`repro.exec.faults` injects deterministic chaos
+(``$REPRO_FAULTS``) to prove all of it.  See :mod:`repro.exec.spec`,
+:mod:`repro.exec.cache`, :mod:`repro.exec.policy` and
+:mod:`repro.exec.engine`.
 """
 
 from .cache import (
     ENV_CACHE_DIR,
     ENV_NO_CACHE,
+    CacheAudit,
+    CorruptionEvent,
     NullCache,
     ResultCache,
     cache_key,
     code_version,
     default_cache_dir,
+    payload_key,
+    summary_digest,
 )
 from .engine import (
     ENV_JOBS,
@@ -24,8 +33,25 @@ from .engine import (
     open_cache,
     reset_session_stats,
     resolve_jobs,
+    resolve_policy,
     run_specs,
     session_stats,
+)
+from .faults import ENV_FAULTS, FaultPlan
+from .policy import (
+    ENV_DEADLINE,
+    ENV_ON_ERROR,
+    ENV_RETRIES,
+    ENV_TIMEOUT,
+    CacheCorruption,
+    DeadlineExceeded,
+    ExecError,
+    ExecPolicy,
+    FailureRecord,
+    FailureReport,
+    SpecTimeout,
+    TransientFault,
+    WorkerCrash,
 )
 from .spec import (
     RunSpec,
@@ -41,14 +67,31 @@ from .spec import (
 )
 
 __all__ = [
+    "CacheAudit",
+    "CacheCorruption",
+    "CorruptionEvent",
+    "DeadlineExceeded",
     "ENV_CACHE_DIR",
+    "ENV_DEADLINE",
+    "ENV_FAULTS",
     "ENV_JOBS",
     "ENV_NO_CACHE",
+    "ENV_ON_ERROR",
+    "ENV_RETRIES",
+    "ENV_TIMEOUT",
+    "ExecError",
+    "ExecPolicy",
     "ExecStats",
+    "FailureRecord",
+    "FailureReport",
+    "FaultPlan",
     "NullCache",
     "ResultCache",
     "RunSpec",
     "RunSummary",
+    "SpecTimeout",
+    "TransientFault",
+    "WorkerCrash",
     "cache_key",
     "caching_enabled",
     "code_version",
@@ -59,12 +102,15 @@ __all__ = [
     "execute",
     "freeze_config",
     "open_cache",
+    "payload_key",
     "programmable_spec",
     "reset_session_stats",
     "resolve_jobs",
+    "resolve_policy",
     "run_specs",
     "session_stats",
     "spmspv_spec",
     "spmv_spec",
+    "summary_digest",
     "thaw_config",
 ]

@@ -11,10 +11,20 @@ salt and orphans stale entries.
 
 Results persist as small JSON documents under ``$REPRO_CACHE_DIR`` (or
 ``~/.cache/repro``), sharded by the first two hex digits of the key.
-The cache is strictly best-effort: unreadable, corrupt or
-foreign-schema entries are treated as misses, and write failures are
-ignored — a broken cache directory can slow a sweep down but never
-break or skew it.
+
+Integrity is checked, not assumed: every entry carries a SHA-256
+``digest`` of its summary payload.  On read, a document that fails to
+parse, decode or match its digest is **quarantined** — renamed to
+``<entry>.json.corrupt`` so the evidence survives for `repro cache
+verify` — counted as a :class:`CorruptionEvent` (the engine folds these
+into ``ExecStats.corrupt`` and the failure report), and treated as a
+miss so the point is re-simulated.  Entries from a different schema
+version are silent misses (staleness, not damage), and write failures
+are still ignored: a broken cache directory can slow a sweep down but
+never break or skew it.
+
+:meth:`ResultCache.verify` / :meth:`prune` / :meth:`info` back the
+``repro cache`` CLI subcommand.
 """
 
 from __future__ import annotations
@@ -22,8 +32,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
+from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
+from typing import Any
 
 from .spec import RunSpec, RunSummary
 
@@ -36,7 +49,20 @@ ENV_NO_CACHE = "REPRO_NO_CACHE"
 #: 4: accelerator front-ends (repro.accel) — specs carry the generic
 #: ``accelerators.*`` config section and new SpMV/SpMSpV variant names
 #: (``ssr``/``indexmac``); pre-front-end entries must never alias them.
-SCHEMA_VERSION = 4
+#: 5: every entry carries an integrity ``digest`` of its summary
+#: payload; digest-less pre-integrity entries must read as stale, not
+#: as corrupt.
+SCHEMA_VERSION = 5
+
+_WARNED: set[str] = set()
+
+
+def _warn_once(tag: str, message: str) -> None:
+    """Emit one RuntimeWarning per degradation mode per process."""
+    if tag in _WARNED:
+        return
+    _WARNED.add(tag)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
 @lru_cache(maxsize=1)
@@ -52,7 +78,14 @@ def code_version() -> str:
         digest.update(b"\0")
         try:
             digest.update(path.read_bytes())
-        except OSError:
+        except OSError as exc:
+            # Degrading the salt silently would let two *different* code
+            # states share cache keys; make the degradation observable.
+            _warn_once(
+                "code_version",
+                f"cache salt degraded: unreadable source file {path} "
+                f"({exc}); cached results may alias across code versions",
+            )
             digest.update(b"<unreadable>")
         digest.update(b"\0")
     return digest.hexdigest()[:16]
@@ -69,11 +102,69 @@ def cache_key(spec: RunSpec) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def payload_key(spec: RunSpec) -> str:
+    """Code-version-independent digest of one spec's payload.
+
+    Unlike :func:`cache_key` this omits the code-version salt, so it is
+    stable across source edits.  Fault injection rolls on it: a chaos
+    seed trips the same faults for the same spec on every commit,
+    keeping chaos tests reproducible as the codebase evolves.
+    """
+    blob = json.dumps(spec.to_payload(), sort_keys=True,
+                      separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def summary_digest(summary_dict: dict) -> str:
+    """Integrity digest over a summary's canonical JSON form."""
+    blob = json.dumps(summary_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 def default_cache_dir() -> Path:
     env = os.environ.get(ENV_CACHE_DIR)
     if env:
         return Path(env)
     return Path(os.path.expanduser("~")) / ".cache" / "repro"
+
+
+@dataclass
+class CorruptionEvent:
+    """One quarantined cache entry (key, where it went, and why)."""
+
+    key: str
+    path: str
+    reason: str
+
+
+@dataclass
+class CacheAudit:
+    """What ``repro cache verify`` found in one scan."""
+
+    root: str
+    scanned: int = 0
+    ok: int = 0
+    foreign_schema: int = 0
+    corrupt: list[dict] = field(default_factory=list)
+    quarantined_files: int = 0
+    tmp_files: int = 0
+    total_bytes: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "root": self.root,
+            "scanned": self.scanned,
+            "ok": self.ok,
+            "foreign_schema": self.foreign_schema,
+            "corrupt": list(self.corrupt),
+            "quarantined_files": self.quarantined_files,
+            "tmp_files": self.tmp_files,
+            "total_bytes": self.total_bytes,
+        }
 
 
 class NullCache:
@@ -85,36 +176,93 @@ class NullCache:
     def put(self, spec: RunSpec, summary: RunSummary) -> None:
         pass
 
+    def drain_corruption_events(self) -> list[CorruptionEvent]:
+        return []
+
+
+def _check_document(data: Any) -> dict | None:
+    """Validate one parsed cache document; return its summary dict.
+
+    Returns None for foreign-schema documents (stale, not corrupt);
+    raises ValueError for anything structurally or integrity-broken.
+    """
+    if not isinstance(data, dict):
+        raise ValueError("cache document is not a JSON object")
+    if data.get("schema") != SCHEMA_VERSION:
+        return None
+    summary = data.get("summary")
+    if not isinstance(summary, dict):
+        raise ValueError("cache document has no summary payload")
+    digest = data.get("digest")
+    if digest != summary_digest(summary):
+        raise ValueError(
+            f"integrity digest mismatch (stored {str(digest)[:12]}…)"
+        )
+    return summary
+
 
 class ResultCache:
-    """Filesystem-backed result store keyed by :func:`cache_key`."""
+    """Filesystem-backed result store keyed by :func:`cache_key`.
 
-    def __init__(self, root: str | Path | None = None):
+    ``faults`` arms deterministic cache-byte-flipping injection (the
+    ``cache-corrupt`` kind of :class:`~repro.exec.faults.FaultPlan`);
+    by default the plan comes from ``$REPRO_FAULTS``.
+    """
+
+    def __init__(self, root: str | Path | None = None, *, faults=None):
+        from .faults import FaultPlan
+
         self.root = Path(root) if root is not None else default_cache_dir()
+        self._faults = faults if faults is not None else FaultPlan.from_env()
+        self._events: list[CorruptionEvent] = []
+        self._put_counts: dict[str, int] = {}
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        """Move a damaged entry aside (never silently overwrite it)."""
+        dest = path.with_name(path.name + ".corrupt")
+        try:
+            path.replace(dest)
+        except OSError:
+            dest = path  # rename failed; at least report in place
+        self._events.append(CorruptionEvent(
+            key=key, path=str(dest), reason=reason,
+        ))
+
+    def drain_corruption_events(self) -> list[CorruptionEvent]:
+        """Hand the quarantine log to the caller (and clear it)."""
+        events, self._events = self._events, []
+        return events
+
     def get(self, spec: RunSpec) -> RunSummary | None:
-        path = self._path(cache_key(spec))
+        key = cache_key(spec)
+        path = self._path(key)
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        if data.get("schema") != SCHEMA_VERSION:
-            return None
+            text = path.read_text()
+        except OSError:
+            return None  # absent (or unreadable): a plain miss
         try:
-            return RunSummary.from_json_dict(data["summary"])
-        except (KeyError, TypeError, ValueError):
+            summary = _check_document(json.loads(text))
+            if summary is None:
+                return None  # foreign schema: stale, not corrupt
+            return RunSummary.from_json_dict(summary)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._quarantine(path, key, str(exc))
             return None
 
     def put(self, spec: RunSpec, summary: RunSummary) -> None:
         key = cache_key(spec)
         path = self._path(key)
+        summary_dict = summary.to_json_dict()
         document = {
             "schema": SCHEMA_VERSION,
             "key": key,
-            "summary": summary.to_json_dict(),
+            "digest": summary_digest(summary_dict),
+            # Summary last (and by far largest): the structural header
+            # fields stay clear of mid-file byte corruption.
+            "summary": summary_dict,
         }
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -122,10 +270,121 @@ class ResultCache:
             tmp.write_text(json.dumps(document, separators=(",", ":")))
             tmp.replace(path)  # atomic: concurrent writers race benignly
         except OSError:
-            pass
+            return
+        if self._faults.active:
+            from .faults import maybe_corrupt_file
+
+            fkey = payload_key(spec)
+            count = self._put_counts.get(fkey, 0) + 1
+            self._put_counts[fkey] = count
+            maybe_corrupt_file(self._faults, path, fkey, count)
 
     def __len__(self) -> int:
         try:
             return sum(1 for _ in self.root.glob("*/*.json"))
-        except OSError:
+        except OSError as exc:
+            _warn_once(
+                "cache_len",
+                f"cache directory {self.root} unreadable ({exc}); "
+                "reporting an empty cache",
+            )
             return 0
+
+    # -- maintenance (the `repro cache` subcommand) ------------------------
+    def _entry_paths(self) -> list[Path]:
+        try:
+            return sorted(self.root.glob("*/*.json"))
+        except OSError:
+            return []
+
+    def verify(self) -> CacheAudit:
+        """Read-only integrity scan of every entry under the root."""
+        audit = CacheAudit(root=str(self.root))
+        for path in self._entry_paths():
+            audit.scanned += 1
+            try:
+                audit.total_bytes += path.stat().st_size
+            except OSError:
+                pass
+            try:
+                summary = _check_document(json.loads(path.read_text()))
+            except (OSError, KeyError, TypeError, ValueError) as exc:
+                audit.corrupt.append({"path": str(path), "reason": str(exc)})
+                continue
+            if summary is None:
+                audit.foreign_schema += 1
+            else:
+                audit.ok += 1
+        try:
+            audit.quarantined_files = sum(
+                1 for _ in self.root.glob("*/*.corrupt"))
+            audit.tmp_files = sum(1 for _ in self.root.glob("*/*.tmp"))
+        except OSError:
+            pass
+        return audit
+
+    def prune(self) -> dict[str, int]:
+        """Delete damaged / stale / leftover files; keep valid entries.
+
+        Removes corrupt entries, foreign-schema entries, quarantined
+        ``*.corrupt`` evidence and orphaned ``*.tmp`` writer files.
+        Returns removal counts per class plus bytes freed.
+        """
+        removed = {"corrupt": 0, "foreign_schema": 0,
+                   "quarantined": 0, "tmp": 0, "bytes_freed": 0}
+
+        def _remove(path: Path, kind: str) -> None:
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                return
+            removed[kind] += 1
+            removed["bytes_freed"] += size
+
+        for path in self._entry_paths():
+            try:
+                summary = _check_document(json.loads(path.read_text()))
+            except (OSError, KeyError, TypeError, ValueError):
+                _remove(path, "corrupt")
+                continue
+            if summary is None:
+                _remove(path, "foreign_schema")
+        try:
+            for path in self.root.glob("*/*.corrupt"):
+                _remove(path, "quarantined")
+            for path in self.root.glob("*/*.tmp"):
+                _remove(path, "tmp")
+        except OSError:
+            pass
+        return removed
+
+    def info(self) -> dict[str, Any]:
+        """Shape of the cache: entry count, bytes, schema histogram."""
+        schemas: dict[str, int] = {}
+        total_bytes = 0
+        entries = 0
+        for path in self._entry_paths():
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+                data = json.loads(path.read_text())
+                schema = str(data.get("schema", "?"))
+            except (OSError, ValueError):
+                schema = "unreadable"
+            schemas[schema] = schemas.get(schema, 0) + 1
+        quarantined = tmp = 0
+        try:
+            quarantined = sum(1 for _ in self.root.glob("*/*.corrupt"))
+            tmp = sum(1 for _ in self.root.glob("*/*.tmp"))
+        except OSError:
+            pass
+        return {
+            "root": str(self.root),
+            "schema_version": SCHEMA_VERSION,
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "schemas": schemas,
+            "quarantined_files": quarantined,
+            "tmp_files": tmp,
+        }

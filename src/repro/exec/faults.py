@@ -1,0 +1,175 @@
+"""Deterministic fault injection for the sweep engine (chaos testing).
+
+``REPRO_FAULTS=crash:0.1,hang:0.05,cache-corrupt:0.2,flaky:0.3`` arms
+the injector: every *attempt* of every spec the engine launches rolls —
+per fault kind — against the configured probability.  Two extra keys
+tune the plan: ``seed:<int>`` (default 0) and ``hang-seconds:<float>``
+(how long an injected hang sleeps, default 30).
+
+The rolls are *pure functions* of ``(seed, kind, spec key, attempt)``
+via SHA-256 — no RNG state, no process affinity.  That makes injection
+
+* **process-safe**: a pool worker and the serial fallback decide
+  identically for the same attempt, and
+* **seed-deterministic**: a chaos run either always trips a given fault
+  or never does, so chaos tests are reproducible, and a retried attempt
+  (``attempt + 1``) re-rolls rather than re-tripping forever.
+
+What each kind does when it trips (see :func:`inject_pre_execute`):
+
+* ``crash`` — in a pool worker, ``os._exit`` mid-spec so the driver
+  sees a real ``BrokenProcessPool``; on the serial path, raise
+  :class:`~repro.exec.policy.WorkerCrash` (killing the caller's own
+  process would take the test harness down with it).
+* ``hang`` — sleep ``hang_seconds``, long enough to blow any sane
+  per-spec timeout.
+* ``flaky`` — raise :class:`~repro.exec.policy.TransientFault`.
+* ``cache-corrupt`` — handled by the cache layer: flip one payload byte
+  in the entry just written (:func:`maybe_corrupt_file`), which the
+  integrity digest must later catch.
+
+Faults are injected only around engine-launched attempts — a direct
+:func:`repro.exec.execute` call never trips them — so the injector
+exercises exactly the fault-tolerance machinery and nothing else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .policy import TransientFault, WorkerCrash
+
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: Exit status of a fault-injected worker crash (distinctive in logs).
+CRASH_EXIT_CODE = 86
+
+_PROB_KINDS = ("crash", "hang", "cache-corrupt", "flaky")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed ``REPRO_FAULTS`` grammar; inert when every rate is 0."""
+
+    crash: float = 0.0
+    hang: float = 0.0
+    cache_corrupt: float = 0.0
+    flaky: float = 0.0
+    seed: int = 0
+    hang_seconds: float = 30.0
+
+    @classmethod
+    def parse(cls, text: str | None) -> "FaultPlan":
+        """Parse ``kind:rate,...`` (plus ``seed:``/``hang-seconds:``)."""
+        if not text or not text.strip():
+            return cls()
+        kwargs: dict[str, float | int] = {}
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            kind, sep, value = chunk.partition(":")
+            kind = kind.strip()
+            if not sep:
+                raise ValueError(
+                    f"bad REPRO_FAULTS entry {chunk!r}: expected 'kind:value'"
+                )
+            if kind == "seed":
+                kwargs["seed"] = int(value)
+            elif kind == "hang-seconds":
+                kwargs["hang_seconds"] = float(value)
+            elif kind in _PROB_KINDS:
+                rate = float(value)
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(
+                        f"fault rate for {kind!r} must be in [0, 1], got {rate}"
+                    )
+                kwargs[kind.replace("-", "_")] = rate
+            else:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} "
+                    f"(expected one of {_PROB_KINDS + ('seed', 'hang-seconds')})"
+                )
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan":
+        return cls.parse(os.environ.get(ENV_FAULTS))
+
+    def spec_string(self) -> str:
+        """Round-trippable grammar form (what workers are handed)."""
+        parts = [
+            f"{kind}:{getattr(self, kind.replace('-', '_'))}"
+            for kind in _PROB_KINDS
+            if getattr(self, kind.replace("-", "_")) > 0.0
+        ]
+        parts.append(f"seed:{self.seed}")
+        parts.append(f"hang-seconds:{self.hang_seconds}")
+        return ",".join(parts)
+
+    @property
+    def active(self) -> bool:
+        return any(getattr(self, k.replace("-", "_")) > 0.0
+                   for k in _PROB_KINDS)
+
+    def roll(self, kind: str, key: str, attempt: int) -> bool:
+        """Deterministic decision: does *kind* trip for (key, attempt)?"""
+        rate = getattr(self, kind.replace("-", "_"))
+        if rate <= 0.0:
+            return False
+        digest = hashlib.sha256(
+            f"{self.seed}:{kind}:{key}:{attempt}".encode()
+        ).hexdigest()
+        return (int(digest[:12], 16) / float(16 ** 12)) < rate
+
+
+def inject_pre_execute(plan: FaultPlan, key: str, attempt: int, *,
+                       label: str = "", in_worker: bool) -> None:
+    """Trip any armed pre-execution fault for this (spec, attempt).
+
+    Called by the engine just before :func:`repro.exec.execute` — in
+    the pool worker when fanned out, in the driver process on the
+    serial fallback (where a crash is *simulated* by raising
+    :class:`WorkerCrash` instead of killing the process).
+    """
+    if plan.roll("crash", key, attempt):
+        if in_worker:
+            os._exit(CRASH_EXIT_CODE)
+        raise WorkerCrash(
+            f"injected worker crash (attempt {attempt})",
+            key=key, label=label, attempts=attempt,
+        )
+    if plan.roll("hang", key, attempt):
+        time.sleep(plan.hang_seconds)
+    if plan.roll("flaky", key, attempt):
+        raise TransientFault(
+            f"injected transient fault (attempt {attempt})",
+            key=key, label=label, attempts=attempt,
+        )
+
+
+def maybe_corrupt_file(plan: FaultPlan, path: Path, key: str,
+                       attempt: int) -> bool:
+    """Flip one byte of a just-written cache entry if the roll trips.
+
+    The flipped byte sits in the middle of the file — inside the JSON
+    payload, past the header fields — so the document usually still
+    parses and only the integrity digest can catch it (the hard case).
+    Returns True when the file was corrupted.
+    """
+    if not plan.roll("cache-corrupt", key, attempt):
+        return False
+    try:
+        blob = bytearray(path.read_bytes())
+        if not blob:
+            return False
+        pivot = len(blob) // 2
+        blob[pivot] ^= 0x01
+        path.write_bytes(bytes(blob))
+        return True
+    except OSError:
+        return False

@@ -115,6 +115,17 @@ class RunSpec:
         payload["config"] = [[k, v] for k, v in self.config]
         return payload
 
+    @property
+    def label(self) -> str:
+        """Short human identity for failure reports and error messages."""
+        core = f"{self.kernel}/{self.variant}"
+        if self.workload == "synthetic":
+            shape = (f"{self.rows}x{self.cols}" if self.kernel == "spmv"
+                     else f"{self.rows}")
+            return (f"{core} {shape} s={self.sparsity:g} "
+                    f"seeds={self.matrix_seed}/{self.vector_seed}")
+        return f"{core} {self.workload}:{self.name}"
+
 
 @dataclass
 class RunSummary:

@@ -157,11 +157,9 @@ def collect_bench(size: int | None = None, *,
                                       vector=True)
     metric("host.vector_instructions_per_sec", vec_ips, "info", "1/s")
 
-    engine_after = session_stats()
-    engine = engine_after.as_dict()
-    engine["executed"] -= engine_before.executed
-    engine["cached"] -= engine_before.cached
-    engine["wall_seconds"] -= engine_before.wall_seconds
+    # Exactly this suite's share of the session counters — including
+    # the fault-tolerance tallies and the structured failure report.
+    engine = session_stats().delta(engine_before).as_dict()
     engine.pop("points_per_second", None)
 
     from ..cpu.timing import _default_backend

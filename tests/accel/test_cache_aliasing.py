@@ -54,19 +54,20 @@ class TestSpmspvNonAliasing:
 
 
 class TestSchemaBump:
-    def test_schema_version_is_4(self):
-        assert SCHEMA_VERSION == 4
+    def test_schema_version_is_5(self):
+        assert SCHEMA_VERSION == 5
 
     def test_schema_versions_entry_format(self):
-        # The key embeds the schema version, so any v3 entry written by a
-        # pre-front-end build is unreachable from v4 and vice versa.
+        # The key embeds the schema version, so any entry written by an
+        # older-schema build is unreachable from the current one and
+        # vice versa.
         spec = spmv_spec((16, 16), accel="hht", **POINT)
         import repro.exec.cache as cache_mod
 
-        v4 = cache_key(spec)
+        current = cache_key(spec)
         try:
-            cache_mod.SCHEMA_VERSION = 3
-            v3 = cache_key(spec)
+            cache_mod.SCHEMA_VERSION = SCHEMA_VERSION - 1
+            older = cache_key(spec)
         finally:
-            cache_mod.SCHEMA_VERSION = 4
-        assert v3 != v4
+            cache_mod.SCHEMA_VERSION = SCHEMA_VERSION
+        assert older != current

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
@@ -13,6 +15,7 @@ from repro.exec import (
     default_cache_dir,
     execute,
     spmv_spec,
+    summary_digest,
 )
 
 SPEC = spmv_spec((16, 16), 0.5, hht=True, matrix_seed=1, vector_seed=2)
@@ -69,3 +72,101 @@ def test_null_cache_never_stores():
 def test_default_dir_honours_env(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
     assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+def _entry_path(root):
+    key = cache_key(SPEC)
+    return root / key[:2] / f"{key}.json"
+
+
+def test_documents_carry_integrity_digest(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, execute(SPEC))
+    doc = json.loads(_entry_path(tmp_path).read_text())
+    assert doc["key"] == cache_key(SPEC)
+    assert doc["digest"] == summary_digest(doc["summary"])
+
+
+def test_tampered_entry_is_quarantined_and_reported(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, execute(SPEC))
+    path = _entry_path(tmp_path)
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0x01  # single mid-payload bit flip
+    path.write_bytes(bytes(blob))
+
+    assert cache.get(SPEC) is None
+    assert not path.exists()  # moved aside, not overwritten in place
+    assert path.with_name(path.name + ".corrupt").exists()
+    events = cache.drain_corruption_events()
+    assert len(events) == 1
+    assert events[0].key == cache_key(SPEC)
+    assert "digest" in events[0].reason
+    assert cache.drain_corruption_events() == []  # drained
+
+
+def test_verify_prune_info_lifecycle(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, execute(SPEC))
+    other = spmv_spec((16, 16), 0.3, hht=False, matrix_seed=5, vector_seed=6)
+    cache.put(other, execute(other))
+    # Damage one entry and leave an orphaned writer tmp file.
+    path = _entry_path(tmp_path)
+    path.write_text("{not json")
+    (path.parent / "orphan.json.123.tmp").write_text("partial")
+
+    audit = cache.verify()
+    assert audit.scanned == 2
+    assert audit.ok == 1
+    assert len(audit.corrupt) == 1
+    assert audit.tmp_files == 1
+    assert not audit.clean
+
+    removed = cache.prune()
+    assert removed["corrupt"] == 1
+    assert removed["tmp"] == 1
+    assert removed["bytes_freed"] > 0
+    assert cache.verify().clean
+
+    info = cache.info()
+    assert info["entries"] == 1
+    assert info["quarantined_files"] == 0
+    assert info["tmp_files"] == 0
+
+
+def _put_once(root):
+    cache = ResultCache(root)
+    cache.put(SPEC, execute(SPEC))
+    return True
+
+
+def test_concurrent_writers_race_benignly(tmp_path):
+    # Same key written from several processes at once: pid-suffixed tmp
+    # files + atomic replace must leave one valid entry and no debris.
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        assert all(pool.map(_put_once, [tmp_path] * 4))
+    cache = ResultCache(tmp_path)
+    hit = cache.get(SPEC)
+    assert hit is not None
+    assert np.array_equal(hit.y, execute(SPEC).y)
+    assert list(tmp_path.glob("*/*.tmp")) == []
+    assert cache.verify().clean
+
+
+def test_unreadable_root_warns_once(tmp_path):
+    from repro.exec import cache as cache_mod
+
+    class _BrokenRoot:
+        def glob(self, pattern):
+            raise OSError("simulated I/O failure")
+
+    cache = ResultCache(tmp_path)
+    cache.root = _BrokenRoot()
+    cache_mod._WARNED.discard("cache_len")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert len(cache) == 0
+        assert len(cache) == 0
+    runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(runtime) == 1  # one-time, not per call
+    assert "unreadable" in str(runtime[0].message)

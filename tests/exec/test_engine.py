@@ -134,3 +134,66 @@ def test_throughput_line_formatting():
     assert "jobs=4" in line
     assert f"{stats.points_per_second:.1f} points/s" in line
     assert stats.total == 8
+
+
+def test_throughput_line_surfaces_fault_counters():
+    stats = ExecStats(executed=3, cached=0, wall_seconds=1.0, jobs=1,
+                      retried=2, corrupt=1, pool_restarts=1)
+    line = stats.throughput_line()
+    assert "2 retried" in line
+    assert "1 corrupt cache entries" in line
+    assert "1 pool restarts" in line
+    # Zero counters stay off the line entirely.
+    assert "failed" not in line
+    assert "quarantined" not in line
+
+
+def test_points_per_second_zero_wall_clock():
+    assert ExecStats(executed=4, wall_seconds=0.0).points_per_second == 0.0
+    assert ExecStats().points_per_second == 0.0
+
+
+def test_stats_delta_isolates_one_batch():
+    before = ExecStats(executed=2, cached=1, wall_seconds=1.0, retried=1)
+    after = ExecStats(executed=5, cached=4, wall_seconds=3.0, retried=2,
+                      jobs=4)
+    delta = after.delta(before)
+    assert delta.executed == 3
+    assert delta.cached == 3
+    assert delta.wall_seconds == 2.0
+    assert delta.retried == 1
+    assert delta.jobs == 4
+
+
+def test_interleaved_duplicates_keep_positions(tmp_path):
+    specs = _specs(3)
+    batch = [specs[0], specs[1], specs[0], specs[2], specs[1], specs[0]]
+    reset_session_stats()
+    results = run_specs(batch, cache=ResultCache(tmp_path))
+    assert session_stats().executed == 3  # deduplicated
+    for spec, summary in zip(batch, results):
+        _assert_same(summary, execute(spec))
+
+
+def test_null_cache_executes_every_run():
+    specs = _specs(2)
+    reset_session_stats()
+    run_specs(specs, cache=NullCache())
+    run_specs(specs, cache=NullCache())
+    stats = session_stats()
+    assert stats.executed == 4
+    assert stats.cached == 0
+
+
+def test_single_miss_skips_the_pool(tmp_path, monkeypatch):
+    # Below _MIN_POOL_BATCH the fork cost is not worth it: even with a
+    # generous --jobs the engine must take the serial path.
+    from repro.exec import engine as engine_mod
+
+    def _boom(*args, **kwargs):
+        raise AssertionError("pool must not be constructed for one miss")
+
+    monkeypatch.setattr(engine_mod, "ProcessPoolExecutor", _boom)
+    spec = _specs(1)[0]
+    results = run_specs([spec], jobs=8, cache=ResultCache(tmp_path))
+    _assert_same(results[0], execute(spec))

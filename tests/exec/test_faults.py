@@ -1,0 +1,106 @@
+"""Deterministic fault injector: grammar, rolls, injection behaviours."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import FaultPlan, TransientFault, WorkerCrash
+from repro.exec.faults import inject_pre_execute, maybe_corrupt_file
+
+
+def test_parse_full_grammar():
+    plan = FaultPlan.parse(
+        "crash:0.1,hang:0.05,cache-corrupt:0.2,flaky:0.3,"
+        "seed:42,hang-seconds:7.5"
+    )
+    assert plan.crash == 0.1
+    assert plan.hang == 0.05
+    assert plan.cache_corrupt == 0.2
+    assert plan.flaky == 0.3
+    assert plan.seed == 42
+    assert plan.hang_seconds == 7.5
+    assert plan.active
+
+
+def test_parse_empty_is_inert():
+    for text in (None, "", "  "):
+        plan = FaultPlan.parse(text)
+        assert plan == FaultPlan()
+        assert not plan.active
+
+
+@pytest.mark.parametrize("text,match", [
+    ("crash", "expected 'kind:value'"),
+    ("meteor:0.5", "unknown fault kind"),
+    ("crash:1.5", r"must be in \[0, 1\]"),
+    ("crash:-0.1", r"must be in \[0, 1\]"),
+])
+def test_parse_rejects_bad_grammar(text, match):
+    with pytest.raises(ValueError, match=match):
+        FaultPlan.parse(text)
+
+
+def test_spec_string_round_trips():
+    plan = FaultPlan(crash=0.25, flaky=0.5, seed=9, hang_seconds=3.0)
+    assert FaultPlan.parse(plan.spec_string()) == plan
+
+
+def test_rolls_are_deterministic_and_seed_sensitive():
+    plan = FaultPlan(crash=0.5, seed=1)
+    rolls = [plan.roll("crash", f"key{i}", 1) for i in range(64)]
+    assert rolls == [plan.roll("crash", f"key{i}", 1) for i in range(64)]
+    # Retry re-rolls: attempt is part of the hash input.
+    assert any(plan.roll("crash", f"key{i}", 1)
+               != plan.roll("crash", f"key{i}", 2) for i in range(64))
+    other = FaultPlan(crash=0.5, seed=2)
+    assert rolls != [other.roll("crash", f"key{i}", 1) for i in range(64)]
+    # Rate 0 never trips; rate 1 always trips.
+    assert not any(FaultPlan(crash=0.0).roll("crash", f"key{i}", 1)
+                   for i in range(16))
+    assert all(FaultPlan(crash=1.0).roll("crash", f"key{i}", 1)
+               for i in range(16))
+
+
+def test_roll_rate_is_calibrated():
+    plan = FaultPlan(flaky=0.3, seed=0)
+    trips = sum(plan.roll("flaky", f"key{i}", 1) for i in range(2000))
+    assert 0.25 < trips / 2000 < 0.35
+
+
+def test_inject_serial_crash_raises_instead_of_exiting():
+    plan = FaultPlan(crash=1.0, seed=0)
+    with pytest.raises(WorkerCrash) as info:
+        inject_pre_execute(plan, "deadbeef", 1, label="lbl", in_worker=False)
+    assert info.value.key == "deadbeef"
+    assert info.value.attempts == 1
+
+
+def test_inject_flaky_raises_transient():
+    plan = FaultPlan(flaky=1.0, seed=0)
+    with pytest.raises(TransientFault):
+        inject_pre_execute(plan, "deadbeef", 1, label="lbl", in_worker=False)
+
+
+def test_inject_inert_plan_is_a_no_op():
+    inject_pre_execute(FaultPlan(), "deadbeef", 1, label="", in_worker=False)
+
+
+def test_maybe_corrupt_file_flips_one_payload_byte(tmp_path):
+    path = tmp_path / "entry.json"
+    original = json.dumps({"schema": 5, "summary": {"x": list(range(50))}})
+    path.write_text(original)
+    plan = FaultPlan(cache_corrupt=1.0, seed=0)
+    assert maybe_corrupt_file(plan, path, "k", 1)
+    blob = path.read_bytes()
+    assert blob != original.encode()
+    assert len(blob) == len(original)
+    assert sum(a != b for a, b in zip(blob, original.encode())) == 1
+
+
+def test_maybe_corrupt_file_respects_roll(tmp_path):
+    path = tmp_path / "entry.json"
+    path.write_text("payload")
+    assert not maybe_corrupt_file(FaultPlan(), path, "k", 1)
+    assert path.read_text() == "payload"

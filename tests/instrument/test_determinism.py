@@ -180,14 +180,15 @@ class TestGoldenTraces:
 
 
 class TestSummaryShape:
-    """RunSummary's serialised shape is unchanged; SCHEMA_VERSION is 4
-    because specs can now carry the generic ``accelerators.*`` config
-    section and the new SpMV/SpMSpV variant names."""
+    """RunSummary's serialised shape is unchanged; SCHEMA_VERSION is 5
+    because every cache entry now carries an integrity ``digest`` of its
+    summary payload (digest-less entries must read as stale, not
+    corrupt)."""
 
     def test_schema_version(self):
         from repro.exec.cache import SCHEMA_VERSION
 
-        assert SCHEMA_VERSION == 4
+        assert SCHEMA_VERSION == 5
 
     def test_backend_in_cache_key(self, workload):
         from repro.exec import RunSpec
