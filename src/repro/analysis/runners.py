@@ -12,6 +12,11 @@ from ..formats.csr import CSRMatrix
 from ..formats.smash import SMASHMatrix
 from ..formats.sparse_vector import SparseVector
 from ..kernels.firmware import FIRMWARES
+from ..kernels.multicore import (
+    partition_rows,
+    spmspv_multicore_kernel,
+    spmv_multicore_kernel,
+)
 from ..kernels.programmable import SUPPORTED_FORMATS, programmable_consumer
 from ..kernels.spmspv import spmspv_kernel
 from ..kernels.spmv import spmv_kernel
@@ -115,7 +120,20 @@ def run_spmv(
     soc.load_csr(matrix)
     soc.load_dense_vector(v)
     soc.allocate_output(matrix.nrows)
-    program = soc.assemble(spmv_kernel(accel=accel, vector=vlmax > 1))
+    if config.n_cores > 1:
+        if accel is not None:
+            raise ValueError(
+                "multi-core SpMV runs the pure-CPU row-partitioned "
+                f"baseline; accel={accel!r} is single-core only"
+            )
+        for name, value in partition_rows(
+            matrix.nrows, config.n_cores
+        ).items():
+            soc.define_symbol(name, value)
+        text = spmv_multicore_kernel(config.n_cores, vector=vlmax > 1)
+    else:
+        text = spmv_kernel(accel=accel, vector=vlmax > 1)
+    program = soc.assemble(text)
     result = soc.run(program)
     y = soc.read_output("y", matrix.nrows)
     if verify:
@@ -206,7 +224,20 @@ def run_spmspv(
     soc.load_csr(matrix)
     soc.load_sparse_vector(sv)
     soc.allocate_output(matrix.nrows)
-    program = soc.assemble(spmspv_kernel(mode=mode, vector=vlmax > 1))
+    if config.n_cores > 1:
+        if mode != "baseline":
+            raise ValueError(
+                "multi-core SpMSpV runs the pure-CPU row-partitioned "
+                f"baseline; mode={mode!r} is single-core only"
+            )
+        for name, value in partition_rows(
+            matrix.nrows, config.n_cores
+        ).items():
+            soc.define_symbol(name, value)
+        text = spmspv_multicore_kernel(config.n_cores, vector=vlmax > 1)
+    else:
+        text = spmspv_kernel(mode=mode, vector=vlmax > 1)
+    program = soc.assemble(text)
     result = soc.run(program)
     y = soc.read_output("y", matrix.nrows)
     if verify:

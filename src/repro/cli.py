@@ -47,6 +47,7 @@ FIGURES = {
     "cached": "ext_cached_system",
     "ablation": "ablation_memory",
     "banks": "ablation_banks",
+    "cores": "ablation_cores",
     "compare": "compare_speedup_table",
 }
 
@@ -111,6 +112,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     info.add_argument("--json", action="store_true",
                       help="emit the flattened configuration as JSON")
+    info.add_argument("--cores", type=int, default=1, metavar="N",
+                      help="describe an N-core system (default 1, the "
+                           "paper's single CPU)")
+    info.add_argument("--mmu", action="store_true",
+                      help="describe the system with per-core TLBs and "
+                           "page-table walks enabled")
 
     spmv = sub.add_parser("spmv", help="run one SpMV comparison")
     spmv.add_argument("--rows", type=int, default=256)
@@ -169,6 +176,12 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--ram-latency", type=int, default=2)
     stats.add_argument("--cached", action="store_true",
                        help="add the Section 3.2 L1D in front of the RAM")
+    stats.add_argument("--cores", type=int, default=1, metavar="N",
+                       help="CPU cores (default 1; >1 runs the "
+                            "row-partitioned pure-CPU baseline and groups "
+                            "the registry by core)")
+    stats.add_argument("--mmu", action="store_true",
+                       help="enable the per-core TLB/page-table-walk model")
     stats.add_argument("--json", action="store_true",
                        help="emit the registry as JSON")
 
@@ -263,6 +276,10 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--size", type=int, default=None,
                          help="sweep matrix dimension (default 256; "
                               "paper 512)")
+    compare.add_argument("--cores", action="store_true",
+                         help="also sweep the multi-core/MMU axis and "
+                              "emit the contention-scaling + VM-overhead "
+                              "table (ablation_cores)")
     compare.add_argument("--out", type=Path, default=None,
                          help="directory for the figure/table artifacts "
                               "(.txt/.csv/.json)")
@@ -271,15 +288,25 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_info(args) -> int:
+def _info_config(args):
+    from .memory import MmuConfig
     from .system.config import SystemConfig
 
+    cfg = SystemConfig.paper_table1()
+    cfg.n_cores = args.cores
+    if args.mmu:
+        cfg.mmu = MmuConfig()
+    return cfg
+
+
+def _cmd_info(args) -> int:
+    cfg = _info_config(args)
+    n_cores, with_mmu = cfg.n_cores, cfg.mmu is not None
     if args.json:
         import json
 
         from .power import area_ratio_vs_ibex, system_power
 
-        cfg = SystemConfig.paper_table1()
         print(json.dumps(
             {
                 "schema": "repro-config/1",
@@ -287,19 +314,21 @@ def _cmd_info(args) -> int:
                 "content_key": cfg.content_key(),
                 "hht_area_vs_ibex": area_ratio_vs_ibex(),
                 "power_uw_16nm_50mhz": {
-                    "cpu": system_power(16, 50, with_hht=False),
-                    "cpu_hht": system_power(16, 50, with_hht=True),
+                    "cpu": system_power(16, 50, with_hht=False,
+                                        n_cores=n_cores, with_mmu=with_mmu),
+                    "cpu_hht": system_power(16, 50, with_hht=True,
+                                            n_cores=n_cores,
+                                            with_mmu=with_mmu),
                 },
             },
             indent=2, sort_keys=True,
         ))
         return 0
-    cfg = SystemConfig.paper_table1()
     print("Simulated system (paper Table 1):")
     print(cfg.describe())
     from .accel import front_end
     from .power import system_power
-    from .power.area import IBEX_GATES
+    from .power.area import IBEX_GATES, tlb_gates
 
     # One area line per configured front-end, derived from the registry
     # (the default config renders the historic "ASIC HHT area" line).
@@ -309,8 +338,19 @@ def _cmd_info(args) -> int:
         name = fe.summary_lines(cfg, spec)[0][0] or spec.kind
         ratio = fe.gates(cfg, spec) / IBEX_GATES
         print(f"{name + ' area':<19}: {ratio:.1%} of an Ibex core")
-    print(f"power @16nm/50MHz  : {system_power(16, 50, with_hht=False):.0f} uW "
-          f"(CPU) / {system_power(16, 50, with_hht=True):.0f} uW (CPU+HHT)")
+    if with_mmu:
+        label = f"TLB area (x{n_cores})"
+        print(f"{label:<19}: "
+              f"{tlb_gates(cfg.mmu) / IBEX_GATES:.1%} of an Ibex core each")
+    cpu_label = "CPU" if n_cores == 1 else f"{n_cores} CPUs"
+    if with_mmu:
+        cpu_label += "+MMU"
+    cpu_uw = system_power(16, 50, with_hht=False,
+                          n_cores=n_cores, with_mmu=with_mmu)
+    all_uw = system_power(16, 50, with_hht=True,
+                          n_cores=n_cores, with_mmu=with_mmu)
+    print(f"power @16nm/50MHz  : {cpu_uw:.0f} uW "
+          f"({cpu_label}) / {all_uw:.0f} uW ({cpu_label}+HHT)")
     return 0
 
 
@@ -428,15 +468,24 @@ def _cmd_stats(args) -> int:
     cfg.ram_latency = args.ram_latency
     if args.cached:
         cfg.cache = CacheConfig()
+    cfg.n_cores = args.cores
+    if args.mmu:
+        from .memory import MmuConfig
+
+        cfg.mmu = MmuConfig()
 
     n = args.size
+    multicore = cfg.n_cores > 1
     matrix = random_csr((n, n), args.sparsity, seed=args.seed)
     if args.kernel == "spmspv":
         sv = random_sparse_vector(n, args.sparsity, seed=args.seed + 1)
-        run = run_spmspv(matrix, sv, mode="hht_v2", config=cfg)
+        # Multi-core runs are the row-partitioned pure-CPU baseline.
+        mode = "baseline" if multicore else "hht_v2"
+        run = run_spmspv(matrix, sv, mode=mode, config=cfg)
     else:
         v = random_dense_vector(n, seed=args.seed + 1)
-        run = run_spmv(matrix, v, hht=(args.kernel == "spmv"), config=cfg)
+        hht = args.kernel == "spmv" and not multicore
+        run = run_spmv(matrix, v, hht=hht, config=cfg)
     stats = run.result.stats
 
     if args.json:
@@ -444,11 +493,27 @@ def _cmd_stats(args) -> int:
         return 0
     print(f"{args.kernel} {n}x{n}, {matrix.sparsity:.0%} sparse, "
           f"banks={cfg.banks}, hhts={cfg.n_hhts}"
+          + (f", cores={cfg.n_cores}" if multicore else "")
+          + (", MMU" if cfg.mmu else "")
           + (", L1D" if cfg.cache else "")
           + f" — {len(stats)} counters:")
     width = max(len(k) for k in stats)
+    if not multicore:
+        for key in sorted(stats):
+            print(f"  {key:<{width}}  {stats[key]}")
+        return 0
+    # Group the registry by core subtree so each cpuN block (and its
+    # TLB) reads as one unit, with the shared components last.
+    groups: dict[str, list[str]] = {}
     for key in sorted(stats):
-        print(f"  {key:<{width}}  {stats[key]}")
+        parts = key.split(".")
+        owner = parts[1] if len(parts) > 2 and parts[1].startswith("cpu") \
+            else "shared"
+        groups.setdefault(owner, []).append(key)
+    for owner in sorted(groups, key=lambda o: (o == "shared", o)):
+        print(f"  [{owner}]")
+        for key in groups[owner]:
+            print(f"    {key:<{width}}  {stats[key]}")
     return 0
 
 
@@ -675,14 +740,18 @@ def _cmd_compare(args) -> int:
 
     figure = compare_speedup_table(args.size)
     detail = compare_detail_table(args.size)
-    print(figure.render())
-    print(detail.render())
+    tables = [("compare_speedup", figure), ("compare_cycles", detail)]
+    if args.cores:
+        from .analysis import ablation_cores
+
+        scaling = (ablation_cores(args.size) if args.size
+                   else ablation_cores())
+        tables.append(("compare_cores", scaling))
+    for _, table in tables:
+        print(table.render())
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-        for stem, table in (
-            ("compare_speedup", figure),
-            ("compare_cycles", detail),
-        ):
+        for stem, table in tables:
             (args.out / f"{stem}.txt").write_text(table.render())
             (args.out / f"{stem}.csv").write_text(table.to_csv())
             save_table(table, args.out / f"{stem}.json")

@@ -403,10 +403,13 @@ class CompiledBackend:
         self.port = bus.port
         self.ram = bus.ram
         # The whole-chain memory inline is only valid on the Table-1
-        # memory system: one bank, no L1D.  Otherwise every memory op
-        # goes through the real bus call (still compiled, just not
-        # inlined) so banked/cached timing stays bit-identical.
-        self.inline_ram = (self.port.banks == 1 and bus.mem.cache is None)
+        # memory system: one bank, no L1D, no MMU.  Otherwise every
+        # memory op goes through the real bus call (still compiled, just
+        # not inlined) so banked/cached/translated timing stays
+        # bit-identical — a TranslatingBus must see every word access so
+        # its TLB charges the page walks.
+        self.inline_ram = (self.port.banks == 1 and bus.mem.cache is None
+                           and getattr(bus, "tlb", None) is None)
         self.requester = bus.default_requester
         self._programs: dict[str, dict[int, CompiledBlock]] = {}
         self._lat_snapshot: tuple | None = None
@@ -1370,3 +1373,108 @@ def run_compiled(session) -> "CpuStats":  # noqa: F821 - doc type
         stats.instructions = executed
         stats.cycles = cpu.cycle
     return stats
+
+
+#: Instruction-skew bound for the multi-core compiled driver: one
+#: scheduler pick never runs a core more than ~this many instructions
+#: ahead of the others, so shared-port requests still arrive in rough
+#: global time order (single-core runs are unbounded, as before).
+MULTI_CORE_SKEW = 64
+
+
+def run_compiled_multi(mcs) -> "CpuStats":  # noqa: F821 - doc type
+    """Drive a :class:`~repro.instrument.session.MultiCoreSession` on
+    the compiled backend.
+
+    Interleaves the cores at *basic-block* grain: each scheduler pick
+    (earliest core clock, ties by index — the same arbitration as the
+    reference loop) runs one block, with looping blocks' internal
+    iteration capped by :data:`MULTI_CORE_SKEW` so no core races far
+    ahead of the shared port's arbitration.  Per-core budgets fall back
+    to the reference per-instruction tail for exact error accounting,
+    exactly like :func:`run_compiled`.
+    """
+    from .core import CpuStats
+
+    cpus = mcs.cpus
+    sessions = mcs._sessions
+    program = mcs.program
+    backends = []
+    blockmaps = []
+    for cpu in cpus:
+        backend = getattr(cpu, "_compiled_backend", None)
+        if backend is None or backend.cpu is not cpu:
+            backend = CompiledBackend(cpu)
+            cpu._compiled_backend = backend
+        cpu._compiled_vf32 = [a.view(np.float32) for a in cpu.v]
+        cpu._compiled_vi32 = [a.view(np.int32) for a in cpu.v]
+        cpu._compiled_vmv = [memoryview(a) for a in cpu.v]
+        backends.append(backend)
+        blockmaps.append(backend.blocks_for(program))
+    executed = [cpu.counters.instructions for cpu in cpus]
+    limits = [
+        executed[i] + cpu.config.max_instructions
+        for i, cpu in enumerate(cpus)
+    ]
+    pcs = [s._pc for s in sessions]
+    try:
+        while True:
+            sel = -1
+            sel_cycle = 0
+            for i, cpu in enumerate(cpus):
+                if cpu.halted:
+                    continue
+                c = cpu.cycle
+                if sel < 0 or c < sel_cycle:
+                    sel = i
+                    sel_cycle = c
+            if sel < 0:
+                break
+            cpu = cpus[sel]
+            session = sessions[sel]
+            pc = pcs[sel]
+            blocks = blockmaps[sel]
+            block = blocks.get(pc)
+            if block is None:
+                if not 0 <= pc < len(session._code):
+                    raise session._pc_error(pc)
+                block = backends[sel].compile_block(program, pc)
+                blocks[pc] = block
+            bn = block.n
+            if executed[sel] + bn >= limits[sel]:
+                # Reference tail, one instruction per pick: bit-exact
+                # budget errors without starving the other cores.
+                code = session._code
+                if not 0 <= pc < len(code):
+                    raise session._pc_error(pc)
+                handler, ins = code[pc]
+                pcs[sel] = handler(ins, pc)
+                executed[sel] += 1
+                if executed[sel] >= limits[sel]:
+                    raise session._budget_error(cpu.config.max_instructions)
+                continue
+            if block.looping:
+                cap = (limits[sel] - executed[sel] - 1) // bn
+                skew_cap = MULTI_CORE_SKEW // bn
+                if skew_cap < 1:
+                    skew_cap = 1
+                if cap > skew_cap:
+                    cap = skew_cap
+                pc, ex = block.fn(cpu, cap)
+                pcs[sel] = pc
+                executed[sel] += ex * bn
+            else:
+                pcs[sel] = block.fn(cpu)
+                executed[sel] += bn
+    finally:
+        total = 0
+        slowest = 0
+        for i, cpu in enumerate(cpus):
+            sessions[i]._pc = pcs[i]
+            stats = cpu.counters
+            stats.instructions = executed[i]
+            stats.cycles = cpu.cycle
+            total += executed[i]
+            if cpu.cycle > slowest:
+                slowest = cpu.cycle
+    return CpuStats(instructions=total, cycles=slowest)

@@ -52,7 +52,11 @@ ENV_NO_CACHE = "REPRO_NO_CACHE"
 #: 5: every entry carries an integrity ``digest`` of its summary
 #: payload; digest-less pre-integrity entries must read as stale, not
 #: as corrupt.
-SCHEMA_VERSION = 5
+#: 6: multi-core SoC + optional MMU — the flattened config gained
+#: ``n_cores`` and the ``mmu.*`` section, so core-count and
+#: address-translation mode participate in every content key (a 1-core
+#: physical run, a 2-core run and an MMU-on run can never alias).
+SCHEMA_VERSION = 6
 
 _WARNED: set[str] = set()
 

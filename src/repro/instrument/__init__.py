@@ -17,9 +17,10 @@ from .probes import (
     TraceProbe,
 )
 from .render import render_timeline, render_trace
-from .session import SimSession
+from .session import MultiCoreSession, SimSession
 
 __all__ = [
+    "MultiCoreSession",
     "SimSession",
     "Probe",
     "ProbeHalt",

@@ -61,6 +61,16 @@ class Probe:
                        cycle_start: int, cycle_end: int) -> None:
         """One retired instruction: index, object, cycle interval."""
 
+    def on_core_select(self, core: str) -> None:
+        """A multi-core session switched to *core* (``"cpu0"`` ...);
+        every following ``on_instruction`` belongs to it.  Never fired
+        by a single-core session, so single-core probes are unchanged."""
+
+    def on_tlb_walk(self, core: str, vpn: int, levels: int,
+                    cycle_start: int, cycle_end: int) -> None:
+        """*core*'s TLB missed on virtual page *vpn* and walked *levels*
+        page-table levels on the shared port over the cycle interval."""
+
     def on_port_issue(self, port: str, requester: str, slot: int,
                       count: int, waited: int) -> None:
         """*count* back-to-back requests issued from *slot* on a memory

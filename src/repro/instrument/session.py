@@ -45,12 +45,13 @@ def _hooks(probes, method: str) -> tuple:
 class _EventSink:
     """Fan-out target installed on components' ``probe_sink`` slots."""
 
-    __slots__ = ("_port_hooks", "_fill_hooks", "_fifo_hooks")
+    __slots__ = ("_port_hooks", "_fill_hooks", "_fifo_hooks", "_tlb_hooks")
 
-    def __init__(self, port_hooks, fill_hooks, fifo_hooks):
+    def __init__(self, port_hooks, fill_hooks, fifo_hooks, tlb_hooks=()):
         self._port_hooks = port_hooks
         self._fill_hooks = fill_hooks
         self._fifo_hooks = fifo_hooks
+        self._tlb_hooks = tlb_hooks
 
     def port_issue(self, port, requester, slot, count, waited):
         for hook in self._port_hooks:
@@ -63,6 +64,10 @@ class _EventSink:
     def fifo_read(self, hht, stream, cycle, wait, count):
         for hook in self._fifo_hooks:
             hook(hht, stream, cycle, wait, count)
+
+    def tlb_walk(self, core, vpn, levels, cycle_start, cycle_end):
+        for hook in self._tlb_hooks:
+            hook(core, vpn, levels, cycle_start, cycle_end)
 
 
 def _walk(component):
@@ -113,6 +118,7 @@ class SimSession:
         self._port_hooks = _hooks(self.probes, "on_port_issue")
         self._fill_hooks = _hooks(self.probes, "on_buffer_fill")
         self._fifo_hooks = _hooks(self.probes, "on_fifo_read")
+        self._tlb_hooks = _hooks(self.probes, "on_tlb_walk")
         # Cyclic samplers: [next_due_cycle, stride, hook] per probe that
         # overrides on_sample with a positive sample_every.  The run
         # loop folds the stride test into the instruction-budget compare
@@ -148,14 +154,19 @@ class SimSession:
     # Event-sink attachment
     # ------------------------------------------------------------------
     def _attach(self) -> None:
-        if not (self._port_hooks or self._fill_hooks or self._fifo_hooks):
+        if not (self._port_hooks or self._fill_hooks or self._fifo_hooks
+                or self._tlb_hooks):
             return
         sink = _EventSink(self._port_hooks, self._fill_hooks,
-                          self._fifo_hooks)
+                          self._fifo_hooks, self._tlb_hooks)
         root = self.system if self.system is not None else self.cpu.bus
         for comp in _walk(root):
             if isinstance(comp, MemoryPort):
                 if self._port_hooks:
+                    comp.probe_sink = sink
+                    self._attached.append(comp)
+            elif getattr(comp, "publishes_tlb_events", False):
+                if self._tlb_hooks:
                     comp.probe_sink = sink
                     self._attached.append(comp)
             elif getattr(comp, "publishes_stream_events", False):
@@ -328,3 +339,142 @@ class SimSession:
             if data is not None:
                 out[probe.name] = data
         return out
+
+
+class MultiCoreSession(SimSession):
+    """One program, every core: the ``n_cores > 1`` execution loop.
+
+    Each core gets a child :class:`SimSession` holding its pre-bound
+    handler list and program counter; this session arbitrates between
+    them round-robin by earliest core clock (ties broken by core index),
+    executing one instruction per pick.  Because the shared memory port
+    timestamps requests with the issuing core's clock, keeping the core
+    clocks within one instruction of each other makes port requests
+    arrive in (approximately) global time order — which is what makes
+    the existing queue-wait accounting meaningful across cores.
+
+    A core starts at the program's ``core{k}`` label when it defines one
+    (the row-partitioned kernels do; each partition ends in ``halt``),
+    otherwise at the common entry.  The run ends when every core halted:
+    ``cycles`` is the slowest core's clock, ``instructions`` the total
+    retired.
+
+    Probes attach once, here: ``on_core_select`` tags the following
+    ``on_instruction`` events with the active core, and the event sink
+    covers every port/TLB/stream component exactly as single-core.
+
+    Backend rule: with no probes and every core configured for the
+    compiled backend (and no MMU, whose translating bus the compiled
+    closures cannot see), execution hands off to
+    :func:`~repro.cpu.compiled.run_compiled_multi`, which interleaves at
+    *basic-block* grain.  Block-grain arbitration can reorder same-cycle
+    port conflicts relative to the reference's instruction-grain loop,
+    so multi-core cycle counts are backend-specific (single-core stays
+    bit-identical; results/outputs are identical on both).
+    """
+
+    def __init__(self, cpus, program: Program, *,
+                 entry: int | str | None = None,
+                 probes: tuple[Probe, ...] = (),
+                 system=None):
+        cpus = list(cpus)
+        if len(cpus) < 2:
+            raise ValueError("MultiCoreSession needs >= 2 cores")
+        super().__init__(cpus[0], program, entry=0 if entry is None else entry,
+                         probes=probes, system=system)
+        self.cpus = cpus
+        self.cores = tuple(cpu.name for cpu in cpus)
+        self._core_hooks = _hooks(self.probes, "on_core_select")
+        self._sessions = []
+        for k, cpu in enumerate(cpus):
+            core_entry = f"core{k}" if f"core{k}" in program.labels else entry
+            self._sessions.append(
+                SimSession(cpu, program, entry=core_entry, system=system)
+            )
+
+    def run(self) -> CpuStats:
+        cpus = self.cpus
+        sessions = self._sessions
+        if (not self.probes
+                and all(c.config.backend == "compiled" for c in cpus)
+                and not any(getattr(c.bus, "tlb", None) is not None
+                            for c in cpus)):
+            from ..cpu.compiled import run_compiled_multi
+
+            return run_compiled_multi(self)
+        codes = [s._code for s in sessions]
+        lengths = [len(code) for code in codes]
+        executed = [cpu.counters.instructions for cpu in cpus]
+        limits = [
+            executed[i] + cpu.config.max_instructions
+            for i, cpu in enumerate(cpus)
+        ]
+        hooks = self._instr_hooks
+        core_hooks = self._core_hooks
+        current = -1
+        try:
+            self._start_probes()
+            sample_due = self._sample_due
+            while True:
+                sel = -1
+                sel_cycle = 0
+                for i, cpu in enumerate(cpus):
+                    if cpu.halted:
+                        continue
+                    c = cpu.cycle
+                    if sel < 0 or c < sel_cycle:
+                        sel = i
+                        sel_cycle = c
+                if sel < 0:
+                    break
+                cpu = cpus[sel]
+                s = sessions[sel]
+                if core_hooks and sel != current:
+                    current = sel
+                    name = cpu.name
+                    for hook in core_hooks:
+                        hook(name)
+                pc = s._pc
+                if not 0 <= pc < lengths[sel]:
+                    raise s._pc_error(pc)
+                handler, ins = codes[sel][pc]
+                if hooks:
+                    before = cpu.cycle
+                    next_pc = handler(ins, pc)
+                    for hook in hooks:
+                        hook(pc, ins, before, cpu.cycle)
+                    s._pc = next_pc
+                else:
+                    s._pc = handler(ins, pc)
+                e = executed[sel] + 1
+                executed[sel] = e
+                if e >= limits[sel]:
+                    raise s._budget_error(cpu.config.max_instructions)
+                if sample_due is not None and sel_cycle >= sample_due:
+                    for i, other in enumerate(cpus):
+                        stats = other.counters
+                        stats.instructions = executed[i]
+                        stats.cycles = other.cycle
+                    sample_due = self._fire_samplers(sel_cycle)
+        except ProbeHalt:
+            pass
+        finally:
+            total = 0
+            slowest = 0
+            for i, cpu in enumerate(cpus):
+                stats = cpu.counters
+                stats.instructions = executed[i]
+                stats.cycles = cpu.cycle
+                total += executed[i]
+                if cpu.cycle > slowest:
+                    slowest = cpu.cycle
+            for probe in self.probes:
+                probe.on_session_end(self)
+            self._detach()
+        return CpuStats(instructions=total, cycles=slowest)
+
+    def step(self) -> bool:  # pragma: no cover - single-core API only
+        raise NotImplementedError(
+            "step() is the external-clock single-core path; "
+            "MultiCoreSession only supports run()"
+        )

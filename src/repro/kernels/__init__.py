@@ -8,6 +8,11 @@ from .firmware import (
     firmware_spmv_csr,
     firmware_spmv_smash,
 )
+from .multicore import (
+    partition_rows,
+    spmspv_multicore_kernel,
+    spmv_multicore_kernel,
+)
 from .programmable import SUPPORTED_FORMATS, programmable_consumer
 from .spmspv import (
     spmspv_baseline_scalar,
@@ -42,6 +47,9 @@ __all__ = [
     "firmware_spmv_smash",
     "SUPPORTED_FORMATS",
     "programmable_consumer",
+    "partition_rows",
+    "spmv_multicore_kernel",
+    "spmspv_multicore_kernel",
     "spmv_baseline_scalar",
     "spmv_baseline_vector",
     "spmv_hht_scalar",

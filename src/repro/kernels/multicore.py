@@ -1,0 +1,231 @@
+"""Row-partitioned multi-core kernels: one CPU core per row block.
+
+The multi-core axis (``SystemConfig.n_cores``) runs *real* instruction
+streams, not an analytic model: these builders emit one self-contained
+program section per core, each ending in ``halt``, with the section
+entry labelled ``core{k}`` — exactly the label the multi-core session
+resolves each core's start PC from.
+
+Ownership is **static row blocks**: core *k* owns the contiguous rows
+``[core{k}_row_start, core{k}_row_end)``, two bare assembler symbols the
+runner defines from :func:`partition_rows` before assembling.  Each core
+writes only its own ``y`` slice, so the partitioning is race-free by
+construction and the result is bit-identical to the single-core kernel's.
+
+The sections are the pure-CPU baselines (scalar or vector).  The
+accelerator front-ends stream through single-consumer FIFOs programmed
+by one core, so sharing them across cores is a different design point —
+multi-core sweeps measure CPU-vs-CPU (and CPU-vs-walker) contention on
+the shared port, which is the axis the ``ablation_cores`` figure needs.
+"""
+
+from __future__ import annotations
+
+from .common import kernel_header
+
+
+def partition_rows(n_rows: int, n_cores: int) -> dict[str, int]:
+    """Static contiguous row blocks: the ``core{k}_row_start/end``
+    symbol values for *n_cores* cores over *n_rows* rows.
+
+    Blocks are ceil-sized so the earlier cores absorb the remainder;
+    trailing cores may own an empty range on tiny matrices.
+    """
+    if n_cores < 1:
+        raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+    block = -(-n_rows // n_cores)  # ceil
+    symbols: dict[str, int] = {}
+    for k in range(n_cores):
+        symbols[f"core{k}_row_start"] = min(k * block, n_rows)
+        symbols[f"core{k}_row_end"] = min((k + 1) * block, n_rows)
+    return symbols
+
+
+def _prologue(p: str, *, extra: str = "") -> str:
+    """Shared section prologue: point every base register at this
+    core's row block.  ``rows``/``y`` advance by ``4 * row_start``;
+    ``cols``/``vals`` advance by ``4 * rows[row_start]`` (a runtime
+    load — the CSR row pointer of the first owned row)."""
+    return f"""{p}:
+    li   s2, {p}_row_start
+    li   s0, {p}_row_end
+    la   s1, m_rows
+    slli t1, s2, 2
+    add  s1, s1, t1         # &rows[row_start]
+    la   s5, y
+    add  s5, s5, t1         # &y[row_start]
+{extra}    bge  s2, s0, {p}_done
+    la   a2, m_cols
+    la   a3, m_vals
+    lw   t2, 0(s1)          # k = rows[row_start]
+    slli t6, t2, 2
+    add  a2, a2, t6
+    add  a3, a3, t6
+    mv   t0, s2             # i = row_start
+"""
+
+
+def _spmv_scalar_section(k: int) -> str:
+    p = f"core{k}"
+    return _prologue(p, extra="    la   s4, v\n") + f"""{p}_row_loop:
+    lw   t3, 4(s1)          # rows[i+1]
+    fmv.w.x fa0, zero       # s = 0
+    bge  t2, t3, {p}_store
+{p}_elem_loop:
+    lw   t6, 0(a2)          # col = cols[k]            [meta]
+    slli t6, t6, 2          # index -> byte offset     [meta]
+    add  t6, t6, s4         # address of v[col]        [meta]
+    flw  fa1, 0(t6)         # v[col]  (indirect access) [meta]
+    flw  fa2, 0(a3)         # vals[k]
+    fmadd.s fa0, fa1, fa2, fa0
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi t2, t2, 1
+    blt  t2, t3, {p}_elem_loop
+{p}_store:
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi s1, s1, 4
+    addi t0, t0, 1
+    blt  t0, s0, {p}_row_loop
+{p}_done:
+    halt
+"""
+
+
+def _spmv_vector_section(k: int) -> str:
+    p = f"core{k}"
+    return _prologue(p, extra="    la   s4, v\n") + f"""{p}_row_loop:
+    lw   t3, 4(s1)          # rows[i+1]
+    sub  t4, t3, t2         # remaining non-zeros in the row
+    vsetvli t5, x0, e32, m1
+    vmv.v.i v0, 0           # lane accumulators
+    beqz t4, {p}_reduce
+{p}_chunk_loop:
+    vsetvli t5, t4, e32, m1
+    vle32.v v1, (a2)        # column indices           [meta]
+    vsll.vi v1, v1, 2       # -> byte offsets          [meta]
+    vluxei32.v v2, (s4), v1 # gather v[cols[...]]      [meta]
+    vle32.v v3, (a3)        # matrix values
+    vfmacc.vv v0, v2, v3
+    slli t6, t5, 2
+    add  a2, a2, t6
+    add  a3, a3, t6
+    sub  t4, t4, t5
+    bnez t4, {p}_chunk_loop
+{p}_reduce:
+    vsetvli t5, x0, e32, m1
+    fmv.w.x ft0, zero
+    vfmv.s.f v4, ft0
+    vfredosum.vs v4, v0, v4
+    vfmv.f.s fa0, v4
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi s1, s1, 4
+    mv   t2, t3
+    addi t0, t0, 1
+    blt  t0, s0, {p}_row_loop
+{p}_done:
+    halt
+"""
+
+
+_SPMSPV_GATHER = """    la   s8, sv_map
+    la   s9, sv_vpad
+"""
+
+
+def _spmspv_scalar_section(k: int) -> str:
+    p = f"core{k}"
+    return _prologue(p, extra=_SPMSPV_GATHER) + f"""{p}_row_loop:
+    lw   t3, 4(s1)
+    fmv.w.x fa0, zero
+    bge  t2, t3, {p}_store
+{p}_elem_loop:
+    lw   t6, 0(a2)          # col = cols[k]                  [meta]
+    slli t6, t6, 2          #                                [meta]
+    add  t6, t6, s8         #                                [meta]
+    lw   t6, 0(t6)          # pos = map[col]  (indirection 1) [meta]
+    slli t6, t6, 2          #                                [meta]
+    add  t6, t6, s9         #                                [meta]
+    flw  fa1, 0(t6)         # vpad[pos]       (indirection 2) [meta]
+    flw  fa2, 0(a3)
+    fmadd.s fa0, fa1, fa2, fa0
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi t2, t2, 1
+    blt  t2, t3, {p}_elem_loop
+{p}_store:
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi s1, s1, 4
+    addi t0, t0, 1
+    blt  t0, s0, {p}_row_loop
+{p}_done:
+    halt
+"""
+
+
+def _spmspv_vector_section(k: int) -> str:
+    p = f"core{k}"
+    return _prologue(p, extra=_SPMSPV_GATHER) + f"""{p}_row_loop:
+    lw   t3, 4(s1)
+    sub  t4, t3, t2
+    vsetvli t5, x0, e32, m1
+    vmv.v.i v0, 0
+    beqz t4, {p}_reduce
+{p}_chunk_loop:
+    vsetvli t5, t4, e32, m1
+    vle32.v v1, (a2)        # column indices                [meta]
+    vsll.vi v1, v1, 2       #                               [meta]
+    vluxei32.v v6, (s8), v1 # pos = map[col]      (gather 1) [meta]
+    vsll.vi v6, v6, 2       #                               [meta]
+    vluxei32.v v7, (s9), v6 # vpad[pos]           (gather 2) [meta]
+    vle32.v v3, (a3)        # matrix values
+    vfmacc.vv v0, v7, v3
+    slli t6, t5, 2
+    add  a2, a2, t6
+    add  a3, a3, t6
+    sub  t4, t4, t5
+    bnez t4, {p}_chunk_loop
+{p}_reduce:
+    vsetvli t5, x0, e32, m1
+    fmv.w.x ft0, zero
+    vfmv.s.f v4, ft0
+    vfredosum.vs v4, v0, v4
+    vfmv.f.s fa0, v4
+    fsw  fa0, 0(s5)
+    addi s5, s5, 4
+    addi s1, s1, 4
+    mv   t2, t3
+    addi t0, t0, 1
+    blt  t0, s0, {p}_row_loop
+{p}_done:
+    halt
+"""
+
+
+def spmv_multicore_kernel(n_cores: int, *, vector: bool) -> str:
+    """Row-partitioned CSR SpMV over *n_cores* cores (pure-CPU baseline)."""
+    if n_cores < 2:
+        raise ValueError(
+            f"multi-core kernels need n_cores >= 2, got {n_cores}"
+        )
+    section = _spmv_vector_section if vector else _spmv_scalar_section
+    flavour = "vector" if vector else "scalar"
+    return kernel_header(
+        f"SpMV {flavour} baseline, {n_cores} cores (static row blocks)"
+    ) + "".join(section(k) for k in range(n_cores))
+
+
+def spmspv_multicore_kernel(n_cores: int, *, vector: bool) -> str:
+    """Row-partitioned SpMSpV over *n_cores* cores (pure-CPU baseline)."""
+    if n_cores < 2:
+        raise ValueError(
+            f"multi-core kernels need n_cores >= 2, got {n_cores}"
+        )
+    section = _spmspv_vector_section if vector else _spmspv_scalar_section
+    flavour = "vector" if vector else "scalar"
+    return kernel_header(
+        f"SpMSpV {flavour} baseline, {n_cores} cores (static row blocks)"
+    ) + "".join(section(k) for k in range(n_cores))

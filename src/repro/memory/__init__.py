@@ -4,6 +4,7 @@ from .bus import MMIO_BASE, Bus, MMIODevice
 from .cache import CacheConfig, CacheStats, L1Cache
 from .hierarchy import MemorySystem
 from .layout import MemoryLayout, Segment
+from .mmu import MmuConfig, Tlb, TlbStats, TranslatingBus
 from .port import MemoryPort, PortStats
 from .ram import MemoryAccessError, Ram
 
@@ -15,6 +16,10 @@ __all__ = [
     "CacheStats",
     "L1Cache",
     "MemorySystem",
+    "MmuConfig",
+    "Tlb",
+    "TlbStats",
+    "TranslatingBus",
     "MemoryLayout",
     "Segment",
     "MemoryPort",

@@ -136,6 +136,25 @@ def indexmac_gates() -> int:
     return 343 + 32 * GATES_PER_BIT + 650
 
 
+def tlb_gates(config=None) -> int:
+    """Gate count of one per-core TLB + page-table walker.
+
+    Storage: each fully associative entry holds a VPN tag, its
+    (identity-mapped, but physically present) PPN and valid/LRU state;
+    logic: one XNOR comparator tree per entry for the CAM match, plus
+    the radix-walk FSM and its PTE address adder.  ``config`` is an
+    :class:`repro.memory.mmu.MmuConfig` (or None for the defaults).
+    """
+    page_bytes = getattr(config, "page_bytes", 4096)
+    entries = getattr(config, "tlb_entries", 16)
+    vpn_bits = 32 - (page_bytes.bit_length() - 1)
+    entry_bits = 2 * vpn_bits + 2            # tag + PPN + valid/LRU
+    storage = entries * entry_bits * GATES_PER_BIT
+    comparators = entries * vpn_bits         # CAM match, ~1 GE/bit
+    walker = 343 + 280                       # PTE adder + walk FSM
+    return storage + comparators + walker
+
+
 def area_ratio_vs_ibex(config: HHTConfig | None = None) -> float:
     """HHT area as a fraction of the Ibex core (paper: ~0.389)."""
     return hht_area(config).total_gates / IBEX_GATES

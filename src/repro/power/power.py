@@ -116,10 +116,37 @@ def programmable_hht_power(feature_nm: int = 16, clock_mhz: float = 50.0) -> Eng
     return EnginePower("programmable_hht", dyn, sta)
 
 
+#: Per-core TLB + page-table walker anchors — a small fully associative
+#: CAM plus a two-state walker FSM, sized from its gate count relative
+#: to the HHT anchors (see repro.power.area.tlb_gates).
+_TLB_DYN_UW_PER_MHZ = 0.34
+_TLB_STATIC_UW = 1.4
+
+
+def tlb_power(feature_nm: int = 16, clock_mhz: float = 50.0) -> EnginePower:
+    """Per-core TLB/walker power at a synthesis corner."""
+    _check_corner(feature_nm, clock_mhz)
+    dyn = _TLB_DYN_UW_PER_MHZ * clock_mhz * DYNAMIC_SCALE[feature_nm]
+    sta = _TLB_STATIC_UW * STATIC_SCALE[feature_nm]
+    return EnginePower("tlb", dyn, sta)
+
+
 def system_power(feature_nm: int = 16, clock_mhz: float = 50.0,
-                 *, with_hht: bool = True) -> float:
-    """Total system power in uW (paper: 223 uW alone, 314 uW with HHT)."""
-    total = cpu_power(feature_nm, clock_mhz).total_uw
+                 *, with_hht: bool = True, n_cores: int = 1,
+                 with_mmu: bool = False) -> float:
+    """Total system power in uW (paper: 223 uW alone, 314 uW with HHT).
+
+    Cores and (when the MMU is on) their TLBs are priced per instance:
+    an ``n_cores``-core system pays ``n_cores`` CPU draws, plus one TLB
+    draw per core under ``with_mmu``.  The shared port/RAM and the
+    accelerator are system-level and priced once.
+    """
+    if n_cores < 1:
+        raise PowerModelError(f"n_cores must be >= 1, got {n_cores}")
+    per_core = cpu_power(feature_nm, clock_mhz).total_uw
+    if with_mmu:
+        per_core += tlb_power(feature_nm, clock_mhz).total_uw
+    total = n_cores * per_core
     if with_hht:
         total += hht_power(feature_nm, clock_mhz).total_uw
     return total

@@ -19,6 +19,7 @@ from ..accel import AcceleratorConfig, front_end
 from ..core.config import HHTConfig
 from ..cpu.timing import CpuConfig, LatencyTable
 from ..memory.cache import CacheConfig
+from ..memory.mmu import MmuConfig
 
 
 @dataclass
@@ -36,6 +37,11 @@ class SystemConfig:
     ram_latency: int = 2
     #: Word-interleaved RAM banks; 1 = the paper's single-issue port.
     banks: int = 1
+    #: CPU cores sharing the RAM port; 1 = the paper's single-core SoC
+    #: (stats under ``soc.cpu.*``).  With N > 1 the cores register as
+    #: ``soc.cpu0`` ... ``soc.cpuN-1`` and arbitrate round-robin by
+    #: earliest core clock (ties broken by core index).
+    n_cores: int = 1
     #: HHT instances attached to the bus ("hht0", "hht1", ... when > 1).
     n_hhts: int = 1
     cpu: CpuConfig = field(default_factory=CpuConfig)
@@ -43,6 +49,10 @@ class SystemConfig:
     #: Optional L1D (the Section 3.2 high-performance integration);
     #: None = the Table-1 flat-SRAM MCU.
     cache: CacheConfig | None = None
+    #: Optional virtual-memory model: a per-core TLB whose page-table
+    #: walks are charged on the shared RAM port.  None (the default) is
+    #: the paper's bare-metal physical-address machine.
+    mmu: MmuConfig | None = None
     #: Generic accelerator section.  None (the default) is the legacy
     #: HHT-only view: ``hht``/``n_hhts`` describe one HHT front-end, and
     #: the flattened form carries no ``accelerators.*`` keys — existing
@@ -58,6 +68,10 @@ class SystemConfig:
             raise ValueError(f"ram_latency must be >= 1, got {self.ram_latency}")
         if self.banks < 1:
             raise ValueError(f"banks must be >= 1, got {self.banks}")
+        if self.n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.mmu is not None and not isinstance(self.mmu, MmuConfig):
+            raise ValueError(f"mmu must be an MmuConfig or None, got {self.mmu!r}")
         if self.n_hhts < 1:
             raise ValueError(f"n_hhts must be >= 1, got {self.n_hhts}")
         if self.accelerators is not None:
@@ -155,6 +169,7 @@ class SystemConfig:
         cpu_fields = dict(nested.get("cpu", {}))
         latencies = LatencyTable.from_dict(cpu_fields.pop("latencies", {}))
         cache_fields = nested.get("cache")
+        mmu_fields = nested.get("mmu")
         accel_fields = nested.get("accelerators")
         accelerators = None
         if isinstance(accel_fields, dict):
@@ -166,12 +181,17 @@ class SystemConfig:
             ram_bytes=int(nested.get("ram_bytes", cls.ram_bytes)),
             ram_latency=int(nested.get("ram_latency", cls.ram_latency)),
             banks=int(nested.get("banks", cls.banks)),
+            n_cores=int(nested.get("n_cores", cls.n_cores)),
             n_hhts=int(nested.get("n_hhts", cls.n_hhts)),
             cpu=CpuConfig(latencies=latencies, **cpu_fields),
             hht=HHTConfig.from_dict(nested.get("hht", {})),
             cache=(
                 CacheConfig.from_dict(cache_fields)
                 if isinstance(cache_fields, dict) else None
+            ),
+            mmu=(
+                MmuConfig.from_dict(mmu_fields)
+                if isinstance(mmu_fields, dict) else None
             ),
             accelerators=accelerators,
         )
@@ -199,6 +219,19 @@ class SystemConfig:
             ("", "Element Size (SEW) = 32 bit"),
             ("", f"Vector Arithmetic Latency = {self.cpu.latencies.vector_fp} cycles"),
         ]
+        if self.n_cores > 1:
+            lines.append(
+                ("", f"Cores = {self.n_cores} "
+                     "(round-robin shared-port arbitration, "
+                     "earliest-clock first)")
+            )
+        if self.mmu is not None:
+            m = self.mmu
+            lines.append(
+                ("MMU", f"{m.tlb_entries}-entry TLB/core, "
+                        f"{m.page_bytes // 1024}KB pages, "
+                        f"{m.walk_levels}-level walk on the shared port")
+            )
         for spec in specs:
             lines.extend(front_end(spec.kind).summary_lines(self, spec))
         lines += [

@@ -35,6 +35,7 @@ from ..isa.program import Program
 from ..memory.bus import Bus
 from ..memory.cache import L1Cache
 from ..memory.layout import MemoryLayout
+from ..memory.mmu import Tlb, TranslatingBus
 from ..memory.port import MemoryPort
 from ..memory.ram import Ram
 from .config import SystemConfig
@@ -123,7 +124,10 @@ class Soc(SimComponent):
     The SoC is the root of the component tree::
 
         soc
-        ├── cpu                      (soc.cpu.*)
+        ├── cpu                      (soc.cpu.*; with n_cores > 1 the
+        │   └── tlb, if MMU on        cores register as soc.cpu0.* ...
+        │                             soc.cpuN-1.*, each with its own
+        │                             soc.cpuK.tlb.* when MMU is on)
         ├── bus (transparent)
         │   └── mem (transparent)
         │       ├── ram port         (soc.ram.*)
@@ -131,6 +135,13 @@ class Soc(SimComponent):
         └── accelerators             (soc.hht.*, soc.ssr.*, ... — one
                                       node per configured front-end
                                       instance, indexed when count > 1)
+
+    With ``n_cores > 1`` every core owns a bus *view* sharing the same
+    RAM, port, L1D and MMIO device map but labelled with its own
+    requester ID (``cpu0`` ... — per-core port/contention accounting
+    falls out of the existing per-requester counters).  The single-core
+    construction path is literally the pre-refactor one, so ``n_cores=1``
+    stays bit-identical.
 
     ``reset()`` propagates to every node; ``stats()`` flattens every
     counter into the registry a :class:`RunResult` carries.
@@ -148,10 +159,44 @@ class Soc(SimComponent):
             if self.config.cache is not None
             else None
         )
-        self.bus = Bus(self.ram, self.port, cache=cache)
+        n_cores = self.config.n_cores
+        mmu = self.config.mmu
+        self.bus = Bus(
+            self.ram, self.port,
+            default_requester="cpu" if n_cores == 1 else "cpu0",
+            cache=cache,
+        )
         self.cache = cache
-        self.cpu = Cpu(self.bus, self.config.cpu)
-        self.add_child(self.cpu)
+        self.cpus: list[Cpu] = []
+        self.tlbs: list[Tlb] = []
+        for k in range(n_cores):
+            if k == 0:
+                bus_k = self.bus
+            else:
+                # A per-core *view* of the shared memory system: same
+                # RAM/port/L1D objects, own requester label.  Not a
+                # tree child — the primary bus already registers the
+                # port and cache — and the MMIO device map is shared
+                # by reference so front-ends attached later are
+                # visible from every core.
+                bus_k = Bus(self.ram, self.port,
+                            default_requester=f"cpu{k}", cache=cache)
+                bus_k._devices = self.bus._devices
+                bus_k._device_bases = self.bus._device_bases
+            core_name = "cpu" if n_cores == 1 else f"cpu{k}"
+            cpu_bus = bus_k
+            tlb = None
+            if mmu is not None:
+                tlb = Tlb(mmu, bus_k.mem, self.config.ram_bytes,
+                          core=core_name)
+                cpu_bus = TranslatingBus(bus_k, tlb)
+            core = Cpu(cpu_bus, self.config.cpu, name=core_name)
+            if tlb is not None:
+                core.add_child(tlb)
+                self.tlbs.append(tlb)
+            self.cpus.append(core)
+            self.add_child(core)
+        self.cpu = self.cpus[0]
         self.add_child(self.bus)
         self.layout = MemoryLayout(self.ram, base=0x100)
         self._symbols: dict[str, int] = {}
@@ -296,6 +341,11 @@ class Soc(SimComponent):
     def allocate_output(self, n: int, name: str = "y") -> int:
         return self.allocate(name, n * 4)
 
+    def define_symbol(self, name: str, value: int) -> int:
+        """Define a bare assembler symbol (e.g. a per-core row bound)."""
+        self._symbols[name] = int(value)
+        return int(value)
+
     @property
     def symbols(self) -> dict[str, int]:
         """Assembler symbol table: data segments + HHT register addresses."""
@@ -311,13 +361,25 @@ class Soc(SimComponent):
             probes: tuple = ()) -> RunResult:
         """Execute *program* from reset; ``probes`` attach instrumentation
         (see :mod:`repro.instrument`) whose payloads ride home on the
-        result."""
-        from ..instrument.session import SimSession
+        result.
+
+        With ``n_cores > 1`` every core runs *program* in one
+        interleaved session; a core starts at the ``core{k}`` label when
+        the program defines one (the row-partitioned kernels do),
+        otherwise at the common *entry*.  ``cycles`` is then the slowest
+        core's clock and ``instructions`` the total retired.
+        """
+        from ..instrument.session import MultiCoreSession, SimSession
 
         self.reset()  # whole component tree: CPU, port, cache tags, HHTs
-        session = SimSession(
-            self.cpu, program, entry=entry, probes=probes, system=self
-        )
+        if len(self.cpus) > 1:
+            session = MultiCoreSession(
+                self.cpus, program, entry=entry, probes=probes, system=self
+            )
+        else:
+            session = SimSession(
+                self.cpu, program, entry=entry, probes=probes, system=self
+            )
         counters = session.run()
         return RunResult(
             cycles=counters.cycles,

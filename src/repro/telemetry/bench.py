@@ -151,6 +151,36 @@ def collect_bench(size: int | None = None, *,
         metric(f"compare.spmv_speedup_geomean.{name}",
                compare_geomean_speedup(compare_cycles, name), "higher", "x")
 
+    # Multi-core scaling: the 2-core row-partitioned SpMV baseline vs
+    # its single-core twin (contention scaling), and the same 2-core
+    # system with the MMU on (virtual-memory overhead).  Additive keys
+    # — see the schema note — so older baselines still compare cleanly.
+    from ..exec import run_specs, spmv_spec
+    from ..memory.mmu import MmuConfig
+    from ..system.config import SystemConfig
+
+    def scaling_config(n_cores: int, mmu: bool) -> SystemConfig:
+        cfg = SystemConfig.paper_table1()
+        cfg.n_cores = n_cores
+        if mmu:
+            cfg.mmu = MmuConfig()
+        return cfg
+
+    scale_size = min(size, 96)
+    one_core, one_core_mmu, two_core = run_specs([
+        spmv_spec((scale_size, scale_size), 0.7, hht=False,
+                  config=scaling_config(n, mmu), matrix_seed=31,
+                  vector_seed=32)
+        for n, mmu in ((1, False), (1, True), (2, False))
+    ])
+    metric("scaling.spmv_2core_speedup",
+           one_core.cycles / two_core.cycles, "higher", "x")
+    # Single-core pair: walk cycles add strictly serially there, so the
+    # overhead is always positive (multi-core overhead also reshuffles
+    # the arbitration interleave; the ablation_cores figure covers it).
+    metric("scaling.spmv_vm_overhead",
+           one_core_mmu.cycles / one_core.cycles - 1.0, "lower", "fraction")
+
     ips, instructions = _measure_interpreter(rounds=interpreter_rounds)
     metric("host.interpreter_instructions_per_sec", ips, "info", "1/s")
     vec_ips, _ = _measure_interpreter(rounds=interpreter_rounds,

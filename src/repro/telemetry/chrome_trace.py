@@ -6,7 +6,11 @@ format (the ``{"traceEvents": [...]}`` schema both ``chrome://tracing``
 and https://ui.perfetto.dev open directly):
 
 * ``cpu`` — one complete (``"X"``) slice per retired instruction,
-  ``ts``/``dur`` in cycles;
+  ``ts``/``dur`` in cycles; a multi-core session gets one named track
+  per core (``cpu0``, ``cpu1``, …) instead, each carrying only that
+  core's instructions;
+* ``<core>.tlb`` — when the MMU is on, one slice per TLB miss spanning
+  the page-table walk (``dur`` = walk cycles on the shared port);
 * ``<hht>.backend`` — an instant event per back-end buffer fill, plus a
   counter (``"C"``) track per stream with the unconsumed element count
   (buffer occupancy over time);
@@ -56,6 +60,10 @@ class ChromeTraceProbe(Probe):
         self._instructions = 0
         self.dropped_instructions = 0
         self._program = ""
+        # The track instruction slices land on: "cpu" for a single-core
+        # session; a multi-core session switches it via on_core_select
+        # before each core's slices.
+        self._cpu_track = "cpu"
 
     # -- track bookkeeping ---------------------------------------------
     def _tid(self, track: str) -> int:
@@ -72,7 +80,13 @@ class ChromeTraceProbe(Probe):
     # -- events --------------------------------------------------------
     def on_session_start(self, session) -> None:
         self._program = session.program.name
-        self._tid("cpu")  # the instruction track always comes first
+        # The instruction track(s) always come first: "cpu" for a
+        # single-core session, one track per core for a multi-core one.
+        for track in getattr(session, "cores", None) or ("cpu",):
+            self._tid(track)
+
+    def on_core_select(self, core) -> None:
+        self._cpu_track = core
 
     def on_instruction(self, pc, ins, cycle_start, cycle_end) -> None:
         if self.limit is not None and self._instructions >= self.limit:
@@ -82,8 +96,16 @@ class ChromeTraceProbe(Probe):
         self._events.append({
             "name": ins.op, "cat": "cpu", "ph": "X",
             "ts": cycle_start, "dur": cycle_end - cycle_start,
-            "pid": _PID, "tid": self._tids["cpu"],
+            "pid": _PID, "tid": self._tid(self._cpu_track),
             "args": {"pc": pc, "text": ins.text or ins.op},
+        })
+
+    def on_tlb_walk(self, core, vpn, levels, cycle_start, cycle_end) -> None:
+        self._events.append({
+            "name": "ptw", "cat": "tlb", "ph": "X",
+            "ts": cycle_start, "dur": cycle_end - cycle_start,
+            "pid": _PID, "tid": self._tid(f"{core}.tlb"),
+            "args": {"vpn": vpn, "levels": levels},
         })
 
     def on_buffer_fill(self, engine) -> None:

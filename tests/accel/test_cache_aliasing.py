@@ -53,9 +53,44 @@ class TestSpmspvNonAliasing:
         assert len(set(keys.values())) == 5
 
 
+class TestMultiCoreNonAliasing:
+    """SCHEMA_VERSION 6: core count and MMU are part of every key."""
+
+    def _key(self, n_cores=1, mmu=False):
+        from repro.memory import MmuConfig
+        from repro.system import SystemConfig
+
+        cfg = SystemConfig.paper_table1()
+        cfg.n_cores = n_cores
+        if mmu:
+            cfg.mmu = MmuConfig()
+        return cache_key(spmv_spec((16, 16), hht=False, config=cfg, **POINT))
+
+    def test_core_count_and_mmu_keys_never_collide(self):
+        keys = {
+            self._key(),
+            self._key(n_cores=2),
+            self._key(n_cores=4),
+            self._key(mmu=True),
+            self._key(n_cores=2, mmu=True),
+        }
+        assert len(keys) == 5
+
+    def test_explicit_defaults_alias_the_legacy_point(self):
+        # n_cores=1/mmu=None IS the pre-refactor config: same flat dict,
+        # same key — the refactor must not split the cache for old runs.
+        from repro.system import SystemConfig
+
+        legacy = cache_key(spmv_spec((16, 16), hht=False, **POINT))
+        explicit = cache_key(spmv_spec(
+            (16, 16), hht=False, config=SystemConfig.paper_table1(), **POINT
+        ))
+        assert legacy == explicit == self._key()
+
+
 class TestSchemaBump:
-    def test_schema_version_is_5(self):
-        assert SCHEMA_VERSION == 5
+    def test_schema_version_is_6(self):
+        assert SCHEMA_VERSION == 6
 
     def test_schema_versions_entry_format(self):
         # The key embeds the schema version, so any entry written by an

@@ -311,7 +311,7 @@ class TestBenchCommand:
             capsys, "bench", "--size", "24", "--out", str(out_path)
         )
         assert code == 0
-        assert "18 metrics" in out
+        assert "20 metrics" in out
         payload = json.loads(out_path.read_text())
         assert payload["schema"] == "repro-bench/2"
         assert payload["suite"]["size"] == 24

@@ -180,15 +180,15 @@ class TestGoldenTraces:
 
 
 class TestSummaryShape:
-    """RunSummary's serialised shape is unchanged; SCHEMA_VERSION is 5
-    because every cache entry now carries an integrity ``digest`` of its
-    summary payload (digest-less entries must read as stale, not
-    corrupt)."""
+    """RunSummary's serialised shape is unchanged; SCHEMA_VERSION is 6
+    because the flattened config gained ``n_cores`` and the ``mmu.*``
+    section (core count and address-translation mode are part of every
+    content key)."""
 
     def test_schema_version(self):
         from repro.exec.cache import SCHEMA_VERSION
 
-        assert SCHEMA_VERSION == 5
+        assert SCHEMA_VERSION == 6
 
     def test_backend_in_cache_key(self, workload):
         from repro.exec import RunSpec

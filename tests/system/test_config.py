@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.memory import CacheConfig
+from repro.memory import CacheConfig, MmuConfig
 from repro.system import SystemConfig
 
 
@@ -77,3 +77,63 @@ class TestContentKey:
             SystemConfig(banks=4, n_hhts=2).content_key(),
         }
         assert len(keys) == 4
+
+
+class TestMultiCoreFields:
+    def test_defaults_are_single_core_physical(self):
+        cfg = SystemConfig()
+        assert cfg.n_cores == 1
+        assert cfg.mmu is None
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_cores=0)
+        with pytest.raises(ValueError):
+            SystemConfig(mmu="yes")
+
+    def test_describe_mentions_cores_and_mmu_only_when_nondefault(self):
+        base = SystemConfig().describe()
+        assert "Cores" not in base
+        assert "MMU" not in base
+        text = SystemConfig(n_cores=2, mmu=MmuConfig()).describe()
+        assert "Cores = 2" in text
+        assert "round-robin" in text
+        assert "16-entry TLB/core" in text
+        assert "2-level walk" in text
+
+    def test_flat_round_trip(self):
+        cfg = SystemConfig(
+            n_cores=4, mmu=MmuConfig(page_bytes=8192, tlb_entries=8,
+                                     walk_levels=3),
+        )
+        flat = cfg.to_flat()
+        assert flat["n_cores"] == 4
+        assert flat["mmu.page_bytes"] == 8192
+        thawed = SystemConfig.from_flat(flat)
+        assert thawed == cfg
+        assert thawed.mmu.walk_levels == 3
+
+    def test_legacy_flat_dicts_still_thaw(self):
+        # Flat dicts frozen before the multi-core refactor carry neither
+        # n_cores nor mmu keys; they must thaw to the paper's 1-core
+        # physical-address system.
+        flat = SystemConfig().to_flat()
+        del flat["n_cores"]
+        flat = {k: v for k, v in flat.items() if not k.startswith("mmu")}
+        cfg = SystemConfig.from_flat(flat)
+        assert cfg.n_cores == 1
+        assert cfg.mmu is None
+        assert cfg == SystemConfig()
+
+    def test_core_count_and_mmu_keys_never_alias(self):
+        # The satellite contract: a 1-core physical run, a multi-core
+        # run and an MMU-on run must occupy distinct cache keys.
+        keys = {
+            SystemConfig().content_key(),
+            SystemConfig(n_cores=2).content_key(),
+            SystemConfig(n_cores=4).content_key(),
+            SystemConfig(mmu=MmuConfig()).content_key(),
+            SystemConfig(n_cores=2, mmu=MmuConfig()).content_key(),
+            SystemConfig(mmu=MmuConfig(tlb_entries=8)).content_key(),
+        }
+        assert len(keys) == 6

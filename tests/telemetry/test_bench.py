@@ -50,6 +50,8 @@ class TestCollect:
             "compare.spmv_speedup_geomean.hht": "higher",
             "compare.spmv_speedup_geomean.ssr": "higher",
             "compare.spmv_speedup_geomean.indexmac": "higher",
+            "scaling.spmv_2core_speedup": "higher",
+            "scaling.spmv_vm_overhead": "lower",
             "host.interpreter_instructions_per_sec": "info",
             "host.vector_instructions_per_sec": "info",
         }

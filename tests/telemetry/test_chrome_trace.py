@@ -14,6 +14,8 @@ from repro.telemetry import (
 from repro.workloads import random_csr, random_dense_vector
 
 GOLDEN = Path(__file__).parent / "data" / "chrome_trace_spmv8.json"
+GOLDEN_MULTICORE = (Path(__file__).parent / "data"
+                    / "chrome_trace_multicore8.json")
 
 
 def hht_workload(soc, size=8, seed=1):
@@ -22,6 +24,29 @@ def hht_workload(soc, size=8, seed=1):
     soc.load_dense_vector(random_dense_vector(size, seed=seed + 1))
     soc.allocate_output(size)
     return soc.assemble(spmv_hht_vector(), name="spmv_hht")
+
+
+def multicore_workload(size=8, seed=3):
+    """A 2-core + MMU SpMV pair: deterministic regardless of backend
+    (an attached probe always runs the reference interleave)."""
+    from repro.kernels import partition_rows, spmv_multicore_kernel
+    from repro.memory import MmuConfig
+    from repro.system import Soc, SystemConfig
+
+    cfg = SystemConfig.paper_table1()
+    cfg.ram_bytes = 1 << 16
+    cfg.n_cores = 2
+    cfg.mmu = MmuConfig()
+    soc = Soc(cfg)
+    matrix = random_csr((size, size), 0.5, seed=seed)
+    soc.load_csr(matrix)
+    soc.load_dense_vector(random_dense_vector(size, seed=seed + 1))
+    soc.allocate_output(size)
+    for name, value in partition_rows(size, 2).items():
+        soc.define_symbol(name, value)
+    prog = soc.assemble(spmv_multicore_kernel(2, vector=True),
+                        name="spmv_mc2")
+    return soc, prog
 
 
 def traced_run(soc_factory, **probe_kwargs):
@@ -124,3 +149,57 @@ class TestGolden:
         assert isinstance(payload["traceEvents"], list)
         assert payload["traceEvents"], "golden trace has no events"
         assert payload["otherData"]["schema"] == CHROME_TRACE_SCHEMA
+
+
+class TestMultiCore:
+    """Per-core instruction tracks plus a TLB-walk track when MMU on."""
+
+    def _payload(self):
+        soc, prog = multicore_workload()
+        probe = ChromeTraceProbe()
+        soc.run(prog, probes=(probe,))
+        return probe.payload()
+
+    def test_one_named_track_per_core(self):
+        payload = self._payload()
+        tracks = {e["args"]["name"] for e in payload["traceEvents"]
+                  if e.get("name") == "thread_name"}
+        assert {"cpu0", "cpu1"} <= tracks
+        assert "cpu" not in tracks  # the single-core track is replaced
+
+    def test_instruction_slices_split_by_core(self):
+        payload = self._payload()
+        meta = {e["args"]["name"]: e["tid"]
+                for e in payload["traceEvents"]
+                if e.get("name") == "thread_name"}
+        per_core = {
+            core: [e for e in payload["traceEvents"]
+                   if e.get("cat") == "cpu" and e["tid"] == meta[core]]
+            for core in ("cpu0", "cpu1")
+        }
+        assert per_core["cpu0"] and per_core["cpu1"]
+        # Within one core's track, slices are back-to-back.
+        for slices in per_core.values():
+            for prev, cur in zip(slices, slices[1:]):
+                assert cur["ts"] == prev["ts"] + prev["dur"]
+
+    def test_tlb_walk_track_present_with_mmu(self):
+        payload = self._payload()
+        tracks = {e["args"]["name"] for e in payload["traceEvents"]
+                  if e.get("name") == "thread_name"}
+        assert {"cpu0.tlb", "cpu1.tlb"} <= tracks
+        walks = [e for e in payload["traceEvents"]
+                 if e.get("cat") == "tlb"]
+        assert walks
+        for walk in walks:
+            assert walk["name"] == "ptw"
+            assert walk["dur"] > 0
+
+    def test_matches_pinned_multicore_sample(self, tmp_path):
+        payload = self._payload()
+        out = write_chrome_trace(payload, tmp_path / "trace.json")
+        assert out.read_text() == GOLDEN_MULTICORE.read_text(), (
+            "multi-core chrome trace output changed; if intentional, "
+            "regenerate tests/telemetry/data/chrome_trace_multicore8.json "
+            "from multicore_workload() in this module"
+        )
