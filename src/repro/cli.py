@@ -22,6 +22,11 @@ Commands:
 * ``cache`` — inspect the persistent result cache: ``info`` (shape),
   ``verify`` (read-only integrity scan; exit 1 on corruption) and
   ``prune`` (delete corrupt/stale/leftover files).
+* ``obs`` — inspect a sweep's observability log (recorded with
+  ``--obs-log`` / ``$REPRO_OBS_DIR``): ``tail`` (recent events),
+  ``summary`` (outcomes, latency percentiles, retries, faults),
+  ``trace`` (Chrome trace-event JSON for ui.perfetto.dev) and
+  ``metrics`` (OpenMetrics text exposition).
 * ``compare`` — bake off every accelerator front-end (scalar/vector CPU
   vs HHT vs SSR vs IndexMAC) across the sparsity sweep and emit the
   speedup figure + cycles table (``--out`` writes .txt/.csv/.json).
@@ -87,6 +92,22 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--failure-report", type=Path, default=None, metavar="OUT",
         help="write the sweep's structured failure report as JSON",
+    )
+    parser.add_argument(
+        "--obs-log", nargs="?", const="", default=None, metavar="DIR",
+        help="record a structured sweep event log (JSONL + heartbeats + "
+             "stats; inspect with `repro obs`); DIR roots it, bare flag "
+             "uses $REPRO_OBS_DIR else ~/.cache/repro/obs",
+    )
+    progress = parser.add_mutually_exclusive_group()
+    progress.add_argument(
+        "--progress", dest="progress", action="store_true", default=None,
+        help="force the live sweep progress line on (default: only when "
+             "stderr is a TTY)",
+    )
+    progress.add_argument(
+        "--no-progress", dest="progress", action="store_false",
+        help="suppress the live sweep progress line",
     )
 
 
@@ -268,6 +289,28 @@ def _build_parser() -> argparse.ArgumentParser:
                             "else ~/.cache/repro)")
     cache.add_argument("--json", action="store_true",
                        help="emit the result as JSON")
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect a sweep's observability log (--obs-log)",
+    )
+    obs.add_argument("action", choices=("tail", "summary", "trace", "metrics"),
+                     help="tail: last events, human-readable; summary: "
+                          "outcome/latency/retry/fault rollup; trace: export "
+                          "Chrome trace-event JSON (open in ui.perfetto.dev); "
+                          "metrics: OpenMetrics text exposition")
+    obs.add_argument("--dir", type=Path, default=None, metavar="PATH",
+                     help="one sweep's log directory, or an obs root (newest "
+                          "sweep wins; default: $REPRO_OBS_DIR, else "
+                          "~/.cache/repro/obs)")
+    obs.add_argument("-n", "--count", type=int, default=20, metavar="N",
+                     help="events to show for tail (default 20; 0 = all)")
+    obs.add_argument("--out", type=Path, default=None, metavar="OUT",
+                     help="write trace/metrics output to OUT (trace default: "
+                          "sweep_trace.json inside the log directory)")
+    obs.add_argument("--json", action="store_true",
+                     help="raw JSON: tail prints JSONL events, summary the "
+                          "full rollup document")
 
     compare = sub.add_parser(
         "compare",
@@ -699,6 +742,13 @@ def _cmd_cache(args) -> int:
             print(f"  schema {schema:<9}: {count}")
         print(f"quarantined     : {info['quarantined_files']}")
         print(f"tmp leftovers   : {info['tmp_files']}")
+        prov = info.get("provenance", {})
+        print(f"with provenance : {prov.get('entries', 0)}")
+        for field, title in (("backends", "backend"),
+                             ("code_versions", "code"),
+                             ("hosts", "host")):
+            for value, count in sorted(prov.get(field, {}).items()):
+                print(f"  {title} {value:<12}: {count}")
         return 0
     if args.action == "verify":
         audit = cache.verify()
@@ -727,6 +777,67 @@ def _cmd_cache(args) -> int:
           f"{removed['quarantined']} quarantined, "
           f"{removed['tmp']} tmp "
           f"({removed['bytes_freed']:,} bytes freed)")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    """Inspect one sweep's observability log."""
+    import json
+
+    from .obs import (
+        SweepSummary,
+        format_event,
+        load_events,
+        load_stats,
+        render_metrics,
+        resolve_sweep_dir,
+    )
+
+    try:
+        sweep_dir = resolve_sweep_dir(args.dir)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    events = load_events(sweep_dir)
+    if not events:
+        print(f"no events recorded under {sweep_dir}", file=sys.stderr)
+        return 1
+
+    if args.action == "tail":
+        shown = events[-args.count:] if args.count > 0 else events
+        for event in shown:
+            print(json.dumps(event, separators=(",", ":")) if args.json
+                  else format_event(event))
+        return 0
+
+    if args.action == "trace":
+        from .obs import write_sweep_trace
+
+        out = (args.out if args.out is not None
+               else sweep_dir / "sweep_trace.json")
+        write_sweep_trace(events, out)
+        print(f"sweep trace written to {out} (open in ui.perfetto.dev)")
+        return 0
+
+    summary = SweepSummary.from_events(events)
+    if args.action == "summary":
+        if args.json:
+            print(json.dumps(summary.to_json_dict(), indent=2,
+                             sort_keys=True))
+            return 0
+        print(f"sweep {sweep_dir.name} ({len(events)} events)")
+        for line in summary.render_lines():
+            print(f"  {line}")
+        return 0
+
+    stats = load_stats(sweep_dir) or {}
+    text = render_metrics(stats, summary=summary, sweep_id=sweep_dir.name)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text)
+        print(f"metrics written to {args.out}")
+        return 0
+    sys.stdout.write(text)
     return 0
 
 
@@ -772,6 +883,7 @@ _COMMANDS = {
     "timeline": _cmd_timeline,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
+    "obs": _cmd_obs,
     "compare": _cmd_compare,
 }
 
@@ -796,6 +908,8 @@ def main(argv: list[str] | None = None) -> int:
             deadline=args.deadline,
             retries=args.retries,
             on_error=args.on_error,
+            obs_dir=args.obs_log,
+            progress=args.progress,
         )
         reset_session_stats()  # the throughput line is per invocation
     try:
@@ -803,11 +917,17 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:  # e.g. `repro-hht corpus | head`
         return 0
     if uses_engine:
-        from .exec import session_stats
+        from .exec import resolve_obs_dir, session_stats
 
         stats = session_stats()
         if stats.total or stats.failed:
             print(stats.throughput_line())
+            if resolve_obs_dir() is not None:
+                from .obs import default_obs_dir
+
+                root = resolve_obs_dir() or str(default_obs_dir())
+                print(f"  obs log under {root} "
+                      f"(inspect with `repro obs summary`)")
         report = stats.failure_report
         for line in report.summary_lines():
             print(f"  {line}")

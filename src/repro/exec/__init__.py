@@ -23,6 +23,7 @@ from .cache import (
     code_version,
     default_cache_dir,
     payload_key,
+    run_provenance,
     summary_digest,
 )
 from .engine import (
@@ -31,9 +32,12 @@ from .engine import (
     caching_enabled,
     configure,
     open_cache,
+    open_obs,
     reset_session_stats,
     resolve_jobs,
+    resolve_obs_dir,
     resolve_policy,
+    resolve_progress,
     run_specs,
     session_stats,
 )
@@ -102,11 +106,15 @@ __all__ = [
     "execute",
     "freeze_config",
     "open_cache",
+    "open_obs",
     "payload_key",
     "programmable_spec",
     "reset_session_stats",
     "resolve_jobs",
+    "resolve_obs_dir",
     "resolve_policy",
+    "resolve_progress",
+    "run_provenance",
     "run_specs",
     "session_stats",
     "spmspv_spec",

@@ -32,6 +32,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import socket
+import time
 import warnings
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -119,6 +121,37 @@ def payload_key(spec: RunSpec) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+@lru_cache(maxsize=1)
+def _hostname() -> str:
+    try:
+        return socket.gethostname()
+    except OSError:
+        return "unknown"
+
+
+def run_provenance(extra: dict | None = None) -> dict:
+    """Who/what/when sidecar recorded with every cache entry.
+
+    Captures the code-version digest, schema version, execution backend,
+    hostname and write wall-time; *extra* (e.g. the engine's attempt
+    count) is merged on top.  Provenance sits **outside** the integrity
+    digest — it describes the write, not the result, so two hosts
+    producing the same summary still agree on the digest.
+    """
+    from ..cpu.timing import _default_backend
+
+    provenance = {
+        "schema": SCHEMA_VERSION,
+        "code": code_version(),
+        "backend": _default_backend(),
+        "host": _hostname(),
+        "wall": time.time(),
+    }
+    if extra:
+        provenance.update(extra)
+    return provenance
+
+
 def summary_digest(summary_dict: dict) -> str:
     """Integrity digest over a summary's canonical JSON form."""
     blob = json.dumps(summary_dict, sort_keys=True, separators=(",", ":"))
@@ -177,7 +210,8 @@ class NullCache:
     def get(self, spec: RunSpec) -> RunSummary | None:
         return None
 
-    def put(self, spec: RunSpec, summary: RunSummary) -> None:
+    def put(self, spec: RunSpec, summary: RunSummary, *,
+            provenance: dict | None = None) -> None:
         pass
 
     def drain_corruption_events(self) -> list[CorruptionEvent]:
@@ -220,6 +254,11 @@ class ResultCache:
         self._faults = faults if faults is not None else FaultPlan.from_env()
         self._events: list[CorruptionEvent] = []
         self._put_counts: dict[str, int] = {}
+        #: Optional ``callback(cache_key)`` invoked when fault injection
+        #: corrupts an entry this cache just wrote — the engine arms it
+        #: while an obs log is recording, so even cache-corrupt faults
+        #: are attributed in the event stream.
+        self.on_fault = None
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -256,7 +295,8 @@ class ResultCache:
             self._quarantine(path, key, str(exc))
             return None
 
-    def put(self, spec: RunSpec, summary: RunSummary) -> None:
+    def put(self, spec: RunSpec, summary: RunSummary, *,
+            provenance: dict | None = None) -> None:
         key = cache_key(spec)
         path = self._path(key)
         summary_dict = summary.to_json_dict()
@@ -264,6 +304,8 @@ class ResultCache:
             "schema": SCHEMA_VERSION,
             "key": key,
             "digest": summary_digest(summary_dict),
+            # Outside the digest: describes the write, not the result.
+            "provenance": run_provenance(provenance),
             # Summary last (and by far largest): the structural header
             # fields stay clear of mid-file byte corruption.
             "summary": summary_dict,
@@ -281,7 +323,12 @@ class ResultCache:
             fkey = payload_key(spec)
             count = self._put_counts.get(fkey, 0) + 1
             self._put_counts[fkey] = count
-            maybe_corrupt_file(self._faults, path, fkey, count)
+            if maybe_corrupt_file(self._faults, path, fkey, count) \
+                    and self.on_fault is not None:
+                try:
+                    self.on_fault(key)
+                except Exception:
+                    pass  # observers must never break the cache
 
     def __len__(self) -> int:
         try:
@@ -364,19 +411,34 @@ class ResultCache:
         return removed
 
     def info(self) -> dict[str, Any]:
-        """Shape of the cache: entry count, bytes, schema histogram."""
+        """Shape of the cache: entry count, bytes, schema + provenance
+        histograms (which backends / code versions / hosts wrote it)."""
         schemas: dict[str, int] = {}
+        backends: dict[str, int] = {}
+        code_versions: dict[str, int] = {}
+        hosts: dict[str, int] = {}
+        with_provenance = 0
         total_bytes = 0
         entries = 0
         for path in self._entry_paths():
             entries += 1
+            data: Any = None
             try:
                 total_bytes += path.stat().st_size
                 data = json.loads(path.read_text())
                 schema = str(data.get("schema", "?"))
-            except (OSError, ValueError):
+            except (OSError, ValueError, AttributeError):
                 schema = "unreadable"
             schemas[schema] = schemas.get(schema, 0) + 1
+            provenance = data.get("provenance") if isinstance(data, dict) \
+                else None
+            if isinstance(provenance, dict):
+                with_provenance += 1
+                for histogram, name in ((backends, "backend"),
+                                        (code_versions, "code"),
+                                        (hosts, "host")):
+                    value = str(provenance.get(name, "?"))
+                    histogram[value] = histogram.get(value, 0) + 1
         quarantined = tmp = 0
         try:
             quarantined = sum(1 for _ in self.root.glob("*/*.corrupt"))
@@ -391,4 +453,10 @@ class ResultCache:
             "schemas": schemas,
             "quarantined_files": quarantined,
             "tmp_files": tmp,
+            "provenance": {
+                "entries": with_provenance,
+                "backends": backends,
+                "code_versions": code_versions,
+                "hosts": hosts,
+            },
         }

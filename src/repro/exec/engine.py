@@ -44,6 +44,7 @@ from __future__ import annotations
 import os
 import shutil
 import signal
+import socket
 import tempfile
 import threading
 import time
@@ -55,7 +56,26 @@ from pathlib import Path
 from time import perf_counter
 from typing import Iterable, Sequence
 
-from .cache import ENV_NO_CACHE, NullCache, ResultCache, cache_key, payload_key
+from ..obs.heartbeat import attribute as heartbeat_attribute
+from ..obs.heartbeat import beat as heartbeat_beat
+from ..obs.heartbeat import clear as heartbeat_clear
+from ..obs.heartbeat import read_heartbeats
+from ..obs.log import (
+    ENV_OBS_DIR,
+    HEARTBEAT_DIR,
+    NULL_OBS,
+    ObsLog,
+    worker_writer,
+)
+from ..obs.progress import ProgressLine
+from .cache import (
+    ENV_NO_CACHE,
+    NullCache,
+    ResultCache,
+    cache_key,
+    code_version,
+    payload_key,
+)
 from .faults import FaultPlan, inject_pre_execute
 from .policy import (
     DeadlineExceeded,
@@ -97,11 +117,21 @@ class ExecStats:
     corrupt: int = 0
     quarantined: int = 0
     pool_restarts: int = 0
+    heartbeats_seen: int = 0
+    events_emitted: int = 0
+    log_bytes: int = 0
     failures: list[FailureRecord] = field(default_factory=list)
 
     @property
     def total(self) -> int:
         return self.executed + self.cached
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requested points served from the cache."""
+        if self.total <= 0:
+            return 0.0
+        return self.cached / self.total
 
     @property
     def points_per_second(self) -> float:
@@ -125,6 +155,9 @@ class ExecStats:
         self.corrupt += other.corrupt
         self.quarantined += other.quarantined
         self.pool_restarts += other.pool_restarts
+        self.heartbeats_seen += other.heartbeats_seen
+        self.events_emitted += other.events_emitted
+        self.log_bytes += other.log_bytes
         self.failures.extend(other.failures)
 
     def copy(self) -> "ExecStats":
@@ -142,6 +175,9 @@ class ExecStats:
             corrupt=self.corrupt - before.corrupt,
             quarantined=self.quarantined - before.quarantined,
             pool_restarts=self.pool_restarts - before.pool_restarts,
+            heartbeats_seen=self.heartbeats_seen - before.heartbeats_seen,
+            events_emitted=self.events_emitted - before.events_emitted,
+            log_bytes=self.log_bytes - before.log_bytes,
             failures=self.failures[len(before.failures):],
         )
 
@@ -149,7 +185,8 @@ class ExecStats:
         line = (
             f"sweep engine: {self.executed} simulated + {self.cached} cached "
             f"points in {self.wall_seconds:.2f}s "
-            f"({self.points_per_second:.1f} points/s, jobs={self.jobs})"
+            f"({self.points_per_second:.1f} points/s, jobs={self.jobs}, "
+            f"cache {self.cache_hit_rate:.0%} hit)"
         )
         extras = [
             f"{count} {name}"
@@ -179,6 +216,10 @@ class ExecStats:
             "corrupt": self.corrupt,
             "quarantined": self.quarantined,
             "pool_restarts": self.pool_restarts,
+            "cache_hit_rate": self.cache_hit_rate,
+            "heartbeats_seen": self.heartbeats_seen,
+            "events_emitted": self.events_emitted,
+            "log_bytes": self.log_bytes,
             "failures": self.failure_report.to_json_dict(),
         }
 
@@ -186,20 +227,32 @@ class ExecStats:
 _SESSION = ExecStats()
 _DEFAULT_JOBS: int | None = None
 _DEFAULT_USE_CACHE: bool | None = None
+_DEFAULT_OBS_DIR: str | None = None
+_DEFAULT_PROGRESS: bool | None = None
 _POLICY_OVERRIDES: dict = {}
 
 
 def configure(*, jobs=_UNSET, use_cache=_UNSET, timeout=_UNSET,
-              deadline=_UNSET, retries=_UNSET, on_error=_UNSET) -> None:
+              deadline=_UNSET, retries=_UNSET, on_error=_UNSET,
+              obs_dir=_UNSET, progress=_UNSET) -> None:
     """Set process-wide defaults (the CLI's --jobs / --retries / … flags).
 
     ``None`` restores "decide from the environment" for that option.
+    ``obs_dir`` arms sweep event logging: a path roots the log there,
+    ``""`` uses the default obs root (``$REPRO_OBS_DIR`` or
+    ``~/.cache/repro/obs``).  ``progress`` forces the live TTY progress
+    line on/off (``None`` = auto: on only when stderr is a TTY).
     """
-    global _DEFAULT_JOBS, _DEFAULT_USE_CACHE
+    global _DEFAULT_JOBS, _DEFAULT_USE_CACHE, _DEFAULT_OBS_DIR, \
+        _DEFAULT_PROGRESS
     if jobs is not _UNSET:
         _DEFAULT_JOBS = None if jobs is None else max(1, int(jobs))
     if use_cache is not _UNSET:
         _DEFAULT_USE_CACHE = use_cache
+    if obs_dir is not _UNSET:
+        _DEFAULT_OBS_DIR = obs_dir
+    if progress is not _UNSET:
+        _DEFAULT_PROGRESS = progress
     for name, value in (("timeout", timeout), ("deadline", deadline),
                         ("retries", retries), ("on_error", on_error)):
         if value is _UNSET:
@@ -242,6 +295,34 @@ def caching_enabled() -> bool:
 def open_cache() -> ResultCache | NullCache:
     """The cache run_specs uses when none is passed explicitly."""
     return ResultCache() if caching_enabled() else NullCache()
+
+
+def resolve_obs_dir() -> str | None:
+    """Obs root: configure() > ``$REPRO_OBS_DIR`` > off (None).
+
+    ``""`` means "armed, default root"; ``None`` means logging is off.
+    """
+    if _DEFAULT_OBS_DIR is not None:
+        return _DEFAULT_OBS_DIR
+    env = os.environ.get(ENV_OBS_DIR, "").strip()
+    if env:
+        return env
+    return None
+
+
+def open_obs() -> ObsLog | None:
+    """A fresh sweep log when obs is armed, else None (logging off)."""
+    root = resolve_obs_dir()
+    if root is None:
+        return None
+    return ObsLog.create(root or None)
+
+
+def resolve_progress(progress: bool | None = None) -> bool | None:
+    """Progress-line wish: explicit arg > configure() > auto (None)."""
+    if progress is not None:
+        return progress
+    return _DEFAULT_PROGRESS
 
 
 def session_stats() -> ExecStats:
@@ -316,7 +397,8 @@ def _worker_init() -> None:
 
 def _worker_attempt(spec: RunSpec, key: str, fkey: str, label: str,
                     attempt: int, timeout: float | None, faults_text: str,
-                    crumb_dir: str) -> RunSummary:
+                    crumb_dir: str, obs_dir: str = "",
+                    sweep_id: str = "") -> RunSummary:
     """One attempt at one spec, inside a pool worker.
 
     Drops a breadcrumb file first and removes it on any non-crash exit
@@ -326,7 +408,13 @@ def _worker_attempt(spec: RunSpec, key: str, fkey: str, label: str,
     instead of penalising every in-flight spec.  ``fkey`` is the
     code-version-independent :func:`~repro.exec.cache.payload_key`
     (fault rolls and breadcrumbs key on it); ``key`` is the cache key
-    (reported in errors).
+    (reported in errors, and the obs correlation key).
+
+    With ``obs_dir`` set the worker also touches its heartbeat record
+    and appends ``attempt.start`` / ``attempt.ok`` / ``attempt.error``
+    (and any ``fault.injected``) to its own per-pid event file — every
+    line flushed, so a crash mid-attempt still leaves the attempt's
+    trail on disk.
     """
     global _ACTIVE_CRUMB
     crumb: Path | None = None
@@ -338,13 +426,40 @@ def _worker_attempt(spec: RunSpec, key: str, fkey: str, label: str,
         except OSError:
             crumb = None
             _ACTIVE_CRUMB = None
+    writer = None
+    heartbeat_dir = ""
+    if obs_dir:
+        writer = worker_writer(obs_dir, sweep_id)
+        heartbeat_dir = os.path.join(obs_dir, HEARTBEAT_DIR)
+        heartbeat_beat(heartbeat_dir, key=key, label=label, attempt=attempt)
+        writer.emit("attempt.start", key=key, label=label, attempt=attempt)
+    attempt_started = perf_counter()
     try:
         with _spec_alarm(timeout, key=key, label=label, attempt=attempt):
             plan = FaultPlan.parse(faults_text)
             if plan.active:
                 inject_pre_execute(plan, fkey, attempt, label=label,
-                                   in_worker=True)
-            return execute(spec)
+                                   in_worker=True, obs=writer,
+                                   event_key=key)
+            summary = execute(spec)
+    except BaseException as exc:
+        if writer is not None:
+            writer.emit(
+                "attempt.error", key=key, label=label, attempt=attempt,
+                category=getattr(exc, "category", type(exc).__name__),
+                seconds=round(perf_counter() - attempt_started, 6),
+                message=str(exc)[:200],
+            )
+            heartbeat_clear(heartbeat_dir)
+        raise
+    else:
+        if writer is not None:
+            writer.emit(
+                "attempt.ok", key=key, label=label, attempt=attempt,
+                seconds=round(perf_counter() - attempt_started, 6),
+            )
+            heartbeat_clear(heartbeat_dir)
+        return summary
     finally:
         if crumb is not None:
             try:
@@ -378,7 +493,8 @@ class _Driver:
 
     def __init__(self, *, policy: ExecPolicy, plan: FaultPlan,
                  cache, results: list, stats: ExecStats,
-                 deadline_at: float | None, workers: int):
+                 deadline_at: float | None, workers: int,
+                 obs=NULL_OBS, progress: ProgressLine | None = None):
         self.policy = policy
         self.plan = plan
         self.cache = cache
@@ -386,15 +502,52 @@ class _Driver:
         self.stats = stats
         self.deadline_at = deadline_at
         self.workers = workers
+        self.obs = obs
+        self.progress = progress
         self.quarantine_after = (
             policy.quarantine_after if policy.quarantine_after is not None
             else policy.retries + 2
         )
+        self._heartbeat_updates: dict[int, float] = {}
+        self._last_obs_poll = 0.0
+
+    # -- observability -----------------------------------------------------
+    def _tick(self, running: int = 0, force: bool = False) -> None:
+        """Refresh the live progress line from the shared counters."""
+        if self.progress is None:
+            return
+        self.progress.update(
+            done=(self.stats.cached + self.stats.executed
+                  + self.stats.failed),
+            running=running, retried=self.stats.retried,
+            failed=self.stats.failed, cached=self.stats.cached,
+            force=force,
+        )
+
+    def _poll_observability(self, inflight: dict) -> None:
+        """Fold worker heartbeats into counters + progress (throttled)."""
+        if not (self.obs or self.progress):
+            return
+        now = perf_counter()
+        if now - self._last_obs_poll < 0.25:
+            return
+        self._last_obs_poll = now
+        running = len(inflight)
+        if self.obs:
+            beats = read_heartbeats(self.obs.heartbeat_dir)
+            for pid, hb in beats.items():
+                if self._heartbeat_updates.get(pid) != hb.updated:
+                    self._heartbeat_updates[pid] = hb.updated
+                    self.stats.heartbeats_seen += 1
+            busy = sum(1 for hb in beats.values() if hb.busy)
+            if busy:
+                running = busy  # specs actually executing, not just queued
+        self._tick(running=running)
 
     # -- shared bookkeeping ------------------------------------------------
     def _complete(self, p: _Pending, summary: RunSummary) -> None:
         # Incremental persistence: a killed sweep resumes from here.
-        self.cache.put(p.spec, summary)
+        self.cache.put(p.spec, summary, provenance={"attempts": p.attempts})
         for i in p.indices:
             self.results[i] = summary
         self.stats.executed += 1
@@ -405,6 +558,11 @@ class _Driver:
                 message=str(p.last_error),
                 attempts=p.attempts, resolved=True,
             ))
+        if self.obs:
+            self.obs.emit("cache.write", key=p.key, label=p.label)
+            self.obs.emit("spec.completed", key=p.key, label=p.label,
+                          attempt=p.attempts, failures=p.failures)
+        self._tick()
 
     def _fail(self, p: _Pending, error: ExecError, *,
               quarantined: bool = False) -> None:
@@ -416,6 +574,13 @@ class _Driver:
             message=str(error), attempts=p.attempts,
             resolved=False, quarantined=quarantined,
         ))
+        if self.obs:
+            self.obs.emit(
+                "spec.quarantined" if quarantined else "spec.failed",
+                key=p.key, label=p.label, attempt=p.attempts,
+                category=error.category, message=str(error)[:200],
+            )
+        self._tick()
         if self.policy.on_error == "raise":
             raise error
         if self.policy.on_error == "collect":
@@ -438,13 +603,20 @@ class _Driver:
         """Record one failed attempt; True when the spec should relaunch."""
         p.failures += 1
         p.last_error = error
+        if self.obs and isinstance(error, SpecTimeout):
+            self.obs.emit("spec.timeout", key=p.key, label=p.label,
+                          attempt=p.attempts, message=str(error)[:200])
         if p.failures >= self.quarantine_after:
             self._fail(p, error, quarantined=True)
             return False
         if error.retryable and p.attempts < self.policy.max_attempts:
             self.stats.retried += 1
-            p.ready_at = (perf_counter()
-                          + self.policy.retry_delay(p.fkey, p.attempts))
+            delay = self.policy.retry_delay(p.fkey, p.attempts)
+            p.ready_at = perf_counter() + delay
+            if self.obs:
+                self.obs.emit("retry", key=p.key, label=p.label,
+                              attempt=p.attempts, category=error.category,
+                              delay=round(delay, 4))
             return True
         self._fail(p, error)
         return False
@@ -469,6 +641,10 @@ class _Driver:
             if p.ready_at > now:
                 time.sleep(p.ready_at - now)
             p.attempts += 1
+            if self.obs:
+                self.obs.emit("attempt.start", key=p.key, label=p.label,
+                              attempt=p.attempts)
+            attempt_started = perf_counter()
             try:
                 with _spec_alarm(self.policy.timeout, key=p.key,
                                  label=p.label, attempt=p.attempts):
@@ -476,12 +652,29 @@ class _Driver:
                         # Serially a "crash" is simulated by raising —
                         # killing this process would take the caller too.
                         inject_pre_execute(self.plan, p.fkey, p.attempts,
-                                           label=p.label, in_worker=False)
+                                           label=p.label, in_worker=False,
+                                           obs=self.obs if self.obs else None,
+                                           event_key=p.key)
                     summary = execute(p.spec)
             except Exception as exc:
+                if self.obs:
+                    self.obs.emit(
+                        "attempt.error", key=p.key, label=p.label,
+                        attempt=p.attempts,
+                        category=getattr(exc, "category",
+                                         type(exc).__name__),
+                        seconds=round(perf_counter() - attempt_started, 6),
+                        message=str(exc)[:200],
+                    )
                 if self._handle_failure(p, self._wrap(p, exc)):
                     queue.append(p)
                 continue
+            if self.obs:
+                self.obs.emit(
+                    "attempt.ok", key=p.key, label=p.label,
+                    attempt=p.attempts,
+                    seconds=round(perf_counter() - attempt_started, 6),
+                )
             self._complete(p, summary)
 
     # -- pooled path -------------------------------------------------------
@@ -492,6 +685,8 @@ class _Driver:
         waiting = list(pending)
         inflight: dict[Future, _Pending] = {}
         faults_text = self.plan.spec_string() if self.plan.active else ""
+        obs_dir = str(self.obs.sweep_dir) if self.obs else ""
+        sweep_id = self.obs.sweep_id if self.obs else ""
         try:
             while waiting or inflight:
                 now = perf_counter()
@@ -506,7 +701,7 @@ class _Driver:
                         future = pool.submit(
                             _worker_attempt, p.spec, p.key, p.fkey,
                             p.label, p.attempts, self.policy.timeout,
-                            faults_text, str(crumb_dir),
+                            faults_text, str(crumb_dir), obs_dir, sweep_id,
                         )
                     except (BrokenProcessPool, RuntimeError):
                         # Pool died between completions: undo the launch
@@ -541,6 +736,7 @@ class _Driver:
                     pool = self._resurrect(pool, inflight, waiting, crumb_dir)
                     continue
                 self._note_running(inflight)
+                self._poll_observability(inflight)
                 hung = [(f, p) for f, p in inflight.items()
                         if self._is_hung(p)]
                 if hung:
@@ -600,6 +796,11 @@ class _Driver:
         self.stats.pool_restarts += 1
         pool.shutdown(wait=False, cancel_futures=True)
         crashed = self._drain_crumbs(crumb_dir)
+        if self.obs:
+            self.obs.emit("pool.restart", reason="broken-pool",
+                          crashed=len(crashed))
+        heartbeats = (read_heartbeats(self.obs.heartbeat_dir)
+                      if self.obs else {})
         for future, p in list(inflight.items()):
             del inflight[future]
             if future.done():
@@ -616,6 +817,11 @@ class _Driver:
                     f"worker process died mid-spec (attempt {p.attempts})",
                     key=p.key, label=p.label, attempts=p.attempts,
                 )
+                if self.obs:
+                    hb = heartbeat_attribute(heartbeats, p.key)
+                    self.obs.emit("worker.crash", key=p.key, label=p.label,
+                                  attempt=p.attempts,
+                                  worker_pid=hb.pid if hb else 0)
                 if self._handle_failure(p, error):
                     waiting.append(p)
             else:
@@ -635,15 +841,33 @@ class _Driver:
         self.stats.pool_restarts += 1
         pool.shutdown(wait=False, cancel_futures=True)
         self._drain_crumbs(crumb_dir)
+        # Heartbeats attribute the hang: the wedged worker cannot report
+        # its own demise, but its last beat names the spec it was holding.
+        heartbeats = (read_heartbeats(self.obs.heartbeat_dir)
+                      if self.obs else {})
+        if self.obs:
+            self.obs.emit("pool.restart", reason="hung-workers",
+                          hung=len(hung))
         hung_set = {f for f, _ in hung}
         for future, p in list(inflight.items()):
             del inflight[future]
             if future in hung_set:
+                hb = heartbeat_attribute(heartbeats, p.key)
+                held = (f"; worker pid {hb.pid} last heartbeat "
+                        f"{hb.age():.1f}s ago" if hb else "")
                 error = SpecTimeout(
                     f"worker unresponsive {_HANG_GRACE_SECONDS}s past the "
-                    f"{self.policy.timeout}s timeout (attempt {p.attempts})",
+                    f"{self.policy.timeout}s timeout "
+                    f"(attempt {p.attempts}){held}",
                     key=p.key, label=p.label, attempts=p.attempts,
                 )
+                if self.obs:
+                    self.obs.emit(
+                        "worker.hung", key=p.key, label=p.label,
+                        attempt=p.attempts,
+                        worker_pid=hb.pid if hb else 0,
+                        heartbeat_age=round(hb.age(), 3) if hb else -1.0,
+                    )
                 if self._handle_failure(p, error):
                     waiting.append(p)
             elif future.done():
@@ -662,7 +886,7 @@ class _Driver:
                                    initializer=_worker_init)
 
 
-def _absorb_cache_corruption(cache, stats: ExecStats) -> None:
+def _absorb_cache_corruption(cache, stats: ExecStats, obs=NULL_OBS) -> None:
     """Fold the cache's quarantine events into the batch stats."""
     drain = getattr(cache, "drain_corruption_events", None)
     if drain is None:
@@ -675,6 +899,9 @@ def _absorb_cache_corruption(cache, stats: ExecStats) -> None:
             message=event.reason, attempts=0,
             resolved=True,  # quarantined + re-executed, not trusted
         ))
+        if obs:
+            obs.emit("cache.corrupt", key=event.key,
+                     path=event.path, reason=event.reason[:200])
 
 
 def run_specs(
@@ -684,6 +911,8 @@ def run_specs(
     cache: ResultCache | NullCache | None = None,
     policy: ExecPolicy | None = None,
     faults: FaultPlan | None = None,
+    obs=None,
+    progress: bool | None = None,
 ) -> list[RunSummary]:
     """Run every spec (cache-first, then parallel); order-preserving.
 
@@ -692,6 +921,11 @@ def run_specs(
     ``faults`` arms deterministic fault injection (default:
     ``$REPRO_FAULTS``).  With ``on_error="skip"`` failed slots hold
     ``None``; with ``"collect"`` they hold the :class:`ExecError`.
+
+    ``obs`` attaches a sweep event log (default: :func:`open_obs`, which
+    is off unless ``--obs-log`` / ``$REPRO_OBS_DIR`` armed it — pass
+    :data:`~repro.obs.NULL_OBS` to force it off); ``progress`` forces
+    the live TTY progress line on/off (default: auto).
     """
     specs = list(specs)
     if not specs:
@@ -701,6 +935,8 @@ def run_specs(
     jobs = resolve_jobs(jobs)
     policy = resolve_policy(policy)
     plan = faults if faults is not None else FaultPlan.from_env()
+    if obs is None:
+        obs = open_obs() or NULL_OBS
 
     started = perf_counter()
     stats = ExecStats(jobs=jobs)
@@ -711,40 +947,75 @@ def run_specs(
     for i, spec in enumerate(specs):
         positions.setdefault(spec, []).append(i)
 
+    if obs:
+        obs.emit(
+            "sweep.start", n_specs=len(specs), n_unique=len(positions),
+            jobs=jobs, policy=policy.to_json_dict(),
+            faults=plan.spec_string() if plan.active else "",
+            code=code_version(), host=socket.gethostname(),
+        )
+
     pending: list[_Pending] = []
     for spec, indices in positions.items():
         summary = cache.get(spec)
         if summary is None:
-            pending.append(_Pending(
+            p = _Pending(
                 spec=spec, key=cache_key(spec), fkey=payload_key(spec),
                 label=spec.label, indices=indices,
-            ))
+            )
+            pending.append(p)
+            if obs:
+                obs.emit("cache.miss", key=p.key, label=p.label)
+                obs.emit("spec.submitted", key=p.key, label=p.label,
+                         duplicates=len(indices))
         else:
             for i in indices:
                 results[i] = summary
+            if obs:
+                obs.emit("cache.hit", key=cache_key(spec), label=spec.label)
     stats.cached = len(positions) - len(pending)
-    _absorb_cache_corruption(cache, stats)
+    _absorb_cache_corruption(cache, stats, obs)
 
-    if pending:
-        workers = min(jobs, len(pending))
-        driver = _Driver(
-            policy=policy, plan=plan, cache=cache, results=results,
-            stats=stats, workers=workers,
-            deadline_at=(started + policy.deadline
-                         if policy.deadline else None),
-        )
-        try:
+    # While the log records, route cache-corrupt fault injections into
+    # it too — the one fault kind that trips outside an attempt.
+    armed_cache_hook = False
+    if obs and getattr(cache, "on_fault", _UNSET) is None:
+        cache.on_fault = lambda key: obs.emit("fault.injected", key=key,
+                                              kind="cache-corrupt")
+        armed_cache_hook = True
+
+    progress_line: ProgressLine | None = None
+    try:
+        if pending:
+            wish = resolve_progress(progress)
+            if wish is not False:
+                progress_line = ProgressLine(len(positions), enabled=wish)
+                if not progress_line.enabled:
+                    progress_line = None
+            workers = min(jobs, len(pending))
+            driver = _Driver(
+                policy=policy, plan=plan, cache=cache, results=results,
+                stats=stats, workers=workers, obs=obs,
+                progress=progress_line,
+                deadline_at=(started + policy.deadline
+                             if policy.deadline else None),
+            )
+            driver._tick(force=True)
             if workers >= 2 and len(pending) >= _MIN_POOL_BATCH:
                 driver.run_pool(pending)
             else:
                 driver.run_serial(pending)
-        finally:
-            # Whatever happened — including on_error="raise" — the
-            # completed points are cached and the session is charged.
-            stats.wall_seconds = perf_counter() - started
-            _SESSION.add(stats)
-        return results
-
-    stats.wall_seconds = perf_counter() - started
-    _SESSION.add(stats)
+    finally:
+        # Whatever happened — including on_error="raise" — the completed
+        # points are cached, the log is sealed and the session charged.
+        stats.wall_seconds = perf_counter() - started
+        if armed_cache_hook:
+            cache.on_fault = None
+        if progress_line is not None:
+            progress_line.close()
+        if obs:
+            obs.emit("sweep.end", stats=stats.as_dict())
+            stats.events_emitted, stats.log_bytes = obs.finalize()
+            obs.write_stats(stats.as_dict())
+        _SESSION.add(stats)
     return results

@@ -128,15 +128,30 @@ class FaultPlan:
 
 
 def inject_pre_execute(plan: FaultPlan, key: str, attempt: int, *,
-                       label: str = "", in_worker: bool) -> None:
+                       label: str = "", in_worker: bool,
+                       obs=None, event_key: str = "") -> None:
     """Trip any armed pre-execution fault for this (spec, attempt).
 
     Called by the engine just before :func:`repro.exec.execute` — in
     the pool worker when fanned out, in the driver process on the
     serial fallback (where a crash is *simulated* by raising
     :class:`WorkerCrash` instead of killing the process).
+
+    When an obs emitter is attached (any object with the
+    ``emit(etype, key=, label=, attempt=, **data)`` shape), a
+    ``fault.injected`` event is written — and flushed — *before* the
+    fault trips, so even an ``os._exit`` crash leaves its attribution
+    on disk.  ``event_key`` carries the spec's correlation (cache) key;
+    *key* here is the code-stable payload key the rolls use.
     """
+
+    def _announce(kind: str) -> None:
+        if obs is not None:
+            obs.emit("fault.injected", key=event_key or key, label=label,
+                     attempt=attempt, kind=kind)
+
     if plan.roll("crash", key, attempt):
+        _announce("crash")
         if in_worker:
             os._exit(CRASH_EXIT_CODE)
         raise WorkerCrash(
@@ -144,8 +159,10 @@ def inject_pre_execute(plan: FaultPlan, key: str, attempt: int, *,
             key=key, label=label, attempts=attempt,
         )
     if plan.roll("hang", key, attempt):
+        _announce("hang")
         time.sleep(plan.hang_seconds)
     if plan.roll("flaky", key, attempt):
+        _announce("flaky")
         raise TransientFault(
             f"injected transient fault (attempt {attempt})",
             key=key, label=label, attempts=attempt,

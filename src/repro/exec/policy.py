@@ -178,6 +178,19 @@ class ExecPolicy:
     def max_attempts(self) -> int:
         return 1 + self.retries
 
+    def to_json_dict(self) -> dict[str, Any]:
+        """JSON-able form (recorded in the obs log's sweep.start event)."""
+        return {
+            "timeout": self.timeout,
+            "deadline": self.deadline,
+            "retries": self.retries,
+            "backoff": self.backoff,
+            "backoff_max": self.backoff_max,
+            "jitter_seed": self.jitter_seed,
+            "on_error": self.on_error,
+            "quarantine_after": self.quarantine_after,
+        }
+
     def retry_delay(self, key: str, attempt: int) -> float:
         """Backoff before relaunching *key* after its *attempt*-th try.
 

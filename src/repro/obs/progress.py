@@ -1,0 +1,117 @@
+"""Live TTY progress line for the sweep engine's settle-poll loop.
+
+Renders a single carriage-return-rewritten status line while a sweep is
+running::
+
+    sweep 12/40 done · 4 running · 2 retried · 0 failed · cache 30% · 8.2 pts/s · ETA 3s
+
+The throughput estimate is an exponential moving average of the
+completion rate (points/sec EMA), so the ETA stays stable through the
+bursty completion pattern of a process pool.  Rendering is throttled
+(default 4 Hz), writes to ``stderr`` (sweep results on ``stdout`` stay
+machine-parseable), and the whole object is inert unless the stream is
+a TTY or it was explicitly enabled — a redirected or CI run pays one
+boolean test per update.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+#: EMA smoothing factor per update (higher = snappier, noisier).
+_EMA_ALPHA = 0.3
+
+#: Minimum seconds between renders.
+_MIN_INTERVAL = 0.25
+
+
+class ProgressLine:
+    """One sweep's live status line (no-op unless enabled)."""
+
+    def __init__(self, total: int, *, stream: TextIO | None = None,
+                 enabled: bool | None = None,
+                 min_interval: float = _MIN_INTERVAL):
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            enabled = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.enabled = enabled and total > 0
+        self.min_interval = min_interval
+        self._last_render = 0.0
+        self._last_done = 0
+        self._last_time = time.perf_counter()
+        self._rate = 0.0     # points/sec EMA
+        self._width = 0
+        self._live = False
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def eta_seconds(self, done: int) -> float | None:
+        if self._rate <= 0.0:
+            return None
+        return max(0, self.total - done) / self._rate
+
+    def _observe(self, done: int) -> None:
+        now = time.perf_counter()
+        dt = now - self._last_time
+        if done > self._last_done and dt > 0:
+            instantaneous = (done - self._last_done) / dt
+            self._rate = (instantaneous if self._rate == 0.0 else
+                          _EMA_ALPHA * instantaneous
+                          + (1.0 - _EMA_ALPHA) * self._rate)
+            self._last_done = done
+            self._last_time = now
+
+    def render(self, *, done: int, running: int, retried: int,
+               failed: int, cached: int) -> str:
+        parts = [f"sweep {done}/{self.total} done"]
+        if running:
+            parts.append(f"{running} running")
+        if retried:
+            parts.append(f"{retried} retried")
+        if failed:
+            parts.append(f"{failed} failed")
+        hit_rate = cached / self.total if self.total else 0.0
+        parts.append(f"cache {hit_rate:.0%}")
+        if self._rate > 0:
+            parts.append(f"{self._rate:.1f} pts/s")
+            eta = self.eta_seconds(done)
+            if eta is not None and done < self.total:
+                parts.append(f"ETA {eta:.0f}s")
+        return " · ".join(parts)
+
+    def update(self, *, done: int, running: int = 0, retried: int = 0,
+               failed: int = 0, cached: int = 0, force: bool = False) -> None:
+        """Fold fresh counters in; rewrite the line when due."""
+        if not self.enabled:
+            return
+        self._observe(done)
+        now = time.perf_counter()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        line = self.render(done=done, running=running, retried=retried,
+                           failed=failed, cached=cached)
+        pad = " " * max(0, self._width - len(line))
+        self._width = len(line)
+        self._live = True
+        try:
+            self.stream.write("\r" + line + pad)
+            self.stream.flush()
+        except (OSError, ValueError):
+            self.enabled = False
+
+    def close(self) -> None:
+        """Erase the live line so final stdout output starts clean."""
+        if not self.enabled or not self._live:
+            return
+        try:
+            self.stream.write("\r" + " " * self._width + "\r")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+        self._live = False

@@ -14,7 +14,12 @@ from .bench import (
     load_bench,
     write_bench,
 )
-from .chrome_trace import CHROME_TRACE_SCHEMA, ChromeTraceProbe, write_chrome_trace
+from .chrome_trace import (
+    CHROME_TRACE_SCHEMA,
+    ChromeTraceProbe,
+    TrackTable,
+    write_chrome_trace,
+)
 from .sampler import (
     SAMPLER_SCHEMA,
     SamplerProbe,
@@ -30,6 +35,7 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "ChromeTraceProbe",
     "SamplerProbe",
+    "TrackTable",
     "collect_bench",
     "compare_bench",
     "load_bench",

@@ -39,6 +39,37 @@ CHROME_TRACE_SCHEMA = "repro-chrome-trace/1"
 _PID = 1  # one simulated process: the SoC
 
 
+class TrackTable:
+    """Track-name → ``tid`` allocation for trace-event documents.
+
+    Tracks are numbered in first-use order, and each allocation records
+    the matching ``thread_name`` metadata event so viewers label the
+    track.  Shared by :class:`ChromeTraceProbe` (per-run hardware
+    traces) and :func:`repro.obs.trace.sweep_trace` (per-sweep worker
+    traces).
+    """
+
+    def __init__(self, *, pid: int = _PID):
+        self.pid = pid
+        self._tids: dict[str, int] = {}
+        #: ``thread_name`` metadata events, one per allocated track.
+        self.meta: list[dict] = []
+
+    def tid(self, track: str) -> int:
+        tid = self._tids.get(track)
+        if tid is None:
+            tid = len(self._tids) + 1
+            self._tids[track] = tid
+            self.meta.append({
+                "name": "thread_name", "ph": "M", "pid": self.pid,
+                "tid": tid, "args": {"name": track},
+            })
+        return tid
+
+    def __len__(self) -> int:
+        return len(self._tids)
+
+
 class ChromeTraceProbe(Probe):
     """Record every published event as Chrome trace-event JSON.
 
@@ -55,8 +86,7 @@ class ChromeTraceProbe(Probe):
             raise ValueError(f"limit must be >= 1 or None, got {limit}")
         self.limit = limit
         self._events: list[dict] = []
-        self._meta: list[dict] = []
-        self._tids: dict[str, int] = {}
+        self._tracks = TrackTable()
         self._instructions = 0
         self.dropped_instructions = 0
         self._program = ""
@@ -67,15 +97,7 @@ class ChromeTraceProbe(Probe):
 
     # -- track bookkeeping ---------------------------------------------
     def _tid(self, track: str) -> int:
-        tid = self._tids.get(track)
-        if tid is None:
-            tid = len(self._tids) + 1
-            self._tids[track] = tid
-            self._meta.append({
-                "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
-                "args": {"name": track},
-            })
-        return tid
+        return self._tracks.tid(track)
 
     # -- events --------------------------------------------------------
     def on_session_start(self, session) -> None:
@@ -158,7 +180,7 @@ class ChromeTraceProbe(Probe):
                      else "soc"},
         }]
         events = (
-            process_meta + self._meta
+            process_meta + self._tracks.meta
             + sorted(self._events, key=lambda e: e["ts"])
         )
         return {

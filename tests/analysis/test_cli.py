@@ -428,3 +428,106 @@ class TestEngineFlags:
         assert code == 0
         assert "ALL CLAIMS PASS" in out
         assert "sweep engine:" in out
+
+
+class TestObs:
+    @pytest.fixture(autouse=True)
+    def _reset_engine_defaults(self):
+        yield
+        from repro.exec import configure
+
+        configure(obs_dir=None, progress=None)
+
+    def _sweep(self, capsys, tmp_path):
+        obs_root = tmp_path / "obs"
+        code, out = run_cli(
+            capsys, "figure", "ablation", "--jobs", "1", "--no-cache",
+            "--obs-log", str(obs_root),
+        )
+        assert code == 0
+        assert f"obs log under {obs_root}" in out
+        return obs_root
+
+    def test_obs_summary_after_logged_sweep(self, capsys, tmp_path):
+        obs_root = self._sweep(capsys, tmp_path)
+        code, out = run_cli(capsys, "obs", "summary", "--dir", str(obs_root))
+        assert code == 0
+        assert "outcomes" in out
+        assert "completed" in out
+        assert "latency" in out
+
+    def test_obs_summary_json(self, capsys, tmp_path):
+        import json
+
+        obs_root = self._sweep(capsys, tmp_path)
+        code, out = run_cli(capsys, "obs", "summary", "--dir", str(obs_root),
+                            "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["outcomes"]["completed"] == payload["specs"]
+        assert payload["events"] > 0
+
+    def test_obs_tail_shows_lifecycle(self, capsys, tmp_path):
+        obs_root = self._sweep(capsys, tmp_path)
+        code, out = run_cli(capsys, "obs", "tail", "--dir", str(obs_root),
+                            "-n", "0")
+        assert code == 0
+        assert "sweep.start" in out
+        assert "spec.completed" in out
+        assert out.strip().splitlines()[-1].split()[2] == "sweep.end"
+
+    def test_obs_tail_json_is_parseable(self, capsys, tmp_path):
+        import json
+
+        obs_root = self._sweep(capsys, tmp_path)
+        code, out = run_cli(capsys, "obs", "tail", "--dir", str(obs_root),
+                            "-n", "3", "--json")
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["sweep"] for line in lines)
+
+    def test_obs_metrics_round_trip(self, capsys, tmp_path):
+        from repro.obs import parse_metrics
+
+        obs_root = self._sweep(capsys, tmp_path)
+        code, out = run_cli(capsys, "obs", "metrics", "--dir", str(obs_root))
+        assert code == 0
+        samples = parse_metrics(out)
+        executed = [v for (name, labels), v in samples.items()
+                    if name == "repro_sweep_points_total"
+                    and ("kind", "executed") in labels]
+        assert executed and executed[0] > 0
+
+    def test_obs_trace_writes_perfetto_json(self, capsys, tmp_path):
+        import json
+
+        obs_root = self._sweep(capsys, tmp_path)
+        out_path = tmp_path / "trace.json"
+        code, out = run_cli(capsys, "obs", "trace", "--dir", str(obs_root),
+                            "--out", str(out_path))
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["otherData"]["schema"] == "repro-sweep-trace/1"
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_obs_without_logs_fails_cleanly(self, capsys, tmp_path):
+        code = main(["obs", "summary", "--dir", str(tmp_path / "empty")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no sweep event logs" in captured.err
+
+    def test_bare_sweep_prints_no_obs_pointer(self, capsys):
+        code, out = run_cli(capsys, "figure", "ablation", "--jobs", "1",
+                            "--no-cache")
+        assert code == 0
+        assert "obs log under" not in out
+
+    def test_cache_info_shows_provenance(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code, _ = run_cli(capsys, "figure", "ablation", "--jobs", "1")
+        assert code == 0
+        code, out = run_cli(capsys, "cache", "info")
+        assert code == 0
+        assert "with provenance" in out
+        assert "backend reference" in out

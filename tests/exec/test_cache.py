@@ -170,3 +170,48 @@ def test_unreadable_root_warns_once(tmp_path):
     runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
     assert len(runtime) == 1  # one-time, not per call
     assert "unreadable" in str(runtime[0].message)
+
+
+def test_entries_carry_run_provenance(tmp_path):
+    from repro.exec import code_version, run_provenance
+
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, execute(SPEC), provenance={"attempts": 2})
+    key = cache_key(SPEC)
+    doc = json.loads((tmp_path / key[:2] / f"{key}.json").read_text())
+    prov = doc["provenance"]
+    assert prov["code"] == code_version()
+    assert prov["backend"] in ("reference", "compiled")
+    assert prov["host"]
+    assert prov["wall"] > 0
+    assert prov["attempts"] == 2
+    # Provenance sits outside the integrity digest: a schema-6 reader
+    # that predates it would still verify the summary.
+    assert doc["digest"] == summary_digest(doc["summary"])
+    # And the standalone helper merges extras the same way.
+    assert run_provenance({"attempts": 9})["attempts"] == 9
+
+
+def test_cache_info_histograms_provenance(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, execute(SPEC))
+    other = spmv_spec((16, 16), 0.25, matrix_seed=3, vector_seed=4)
+    cache.put(other, execute(other))
+    prov = cache.info()["provenance"]
+    assert prov["entries"] == 2
+    assert sum(prov["backends"].values()) == 2
+    assert sum(prov["code_versions"].values()) == 2
+    assert sum(prov["hosts"].values()) == 2
+
+
+def test_info_tolerates_entries_without_provenance(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, execute(SPEC))
+    key = cache_key(SPEC)
+    path = tmp_path / key[:2] / f"{key}.json"
+    doc = json.loads(path.read_text())
+    del doc["provenance"]
+    path.write_text(json.dumps(doc))
+    prov = cache.info()["provenance"]
+    assert prov["entries"] == 0
+    assert cache.get(SPEC) is not None  # still a valid entry

@@ -197,3 +197,43 @@ def test_single_miss_skips_the_pool(tmp_path, monkeypatch):
     spec = _specs(1)[0]
     results = run_specs([spec], jobs=8, cache=ResultCache(tmp_path))
     _assert_same(results[0], execute(spec))
+
+
+def test_throughput_line_reports_cache_hit_rate():
+    stats = ExecStats(executed=3, cached=1, wall_seconds=1.0, jobs=2)
+    assert stats.cache_hit_rate == 0.25
+    assert "cache 25% hit" in stats.throughput_line()
+    assert ExecStats().cache_hit_rate == 0.0
+
+
+def test_as_dict_carries_obs_counters():
+    stats = ExecStats(executed=3, cached=1, wall_seconds=1.0, jobs=2,
+                      heartbeats_seen=7, events_emitted=42, log_bytes=1234)
+    d = stats.as_dict()
+    assert d["heartbeats_seen"] == 7
+    assert d["events_emitted"] == 42
+    assert d["log_bytes"] == 1234
+    assert d["cache_hit_rate"] == 0.25
+    # Every numeric field survives a JSON round-trip (the bench suite
+    # and obs stats.json both persist this dict).
+    import json
+
+    assert json.loads(json.dumps(d)) == d
+
+
+def test_delta_covers_obs_counters():
+    before = ExecStats(executed=2, heartbeats_seen=3, events_emitted=10,
+                       log_bytes=100)
+    after = ExecStats(executed=5, heartbeats_seen=8, events_emitted=25,
+                      log_bytes=350, wall_seconds=1.0)
+    delta = after.delta(before)
+    assert delta.heartbeats_seen == 5
+    assert delta.events_emitted == 15
+    assert delta.log_bytes == 250
+    # And add() is delta()'s inverse.
+    rebuilt = ExecStats(executed=2, heartbeats_seen=3, events_emitted=10,
+                        log_bytes=100)
+    rebuilt.add(delta)
+    assert rebuilt.heartbeats_seen == after.heartbeats_seen
+    assert rebuilt.events_emitted == after.events_emitted
+    assert rebuilt.log_bytes == after.log_bytes

@@ -1,0 +1,143 @@
+"""Event schema + lifecycle-grammar validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    ENVELOPE_FIELDS,
+    EVENT_TYPES,
+    check_spec_sequences,
+    spec_sequences,
+    validate_event,
+    validate_events,
+)
+
+
+def ev(etype, *, src="driver", seq=0, wall=1.0, key="", **data):
+    event = {"type": etype, "sweep": "s1", "src": src, "pid": 42,
+             "seq": seq, "wall": wall}
+    if key:
+        event["key"] = key
+    if data:
+        event["data"] = data
+    return event
+
+
+def lifecycle(key, *, attempts=1, terminal="spec.completed"):
+    """A minimal clean lifecycle for one spec."""
+    events = [ev("cache.miss", seq=0, wall=1.0, key=key),
+              ev("spec.submitted", seq=1, wall=1.1, key=key)]
+    wall, wseq = 1.2, 0
+    for attempt in range(1, attempts + 1):
+        events.append(ev("attempt.start", src="worker-9", seq=wseq,
+                         wall=wall, key=key))
+        closing = "attempt.ok" if attempt == attempts else "attempt.error"
+        events.append(ev(closing, src="worker-9", seq=wseq + 1,
+                         wall=wall + 0.1, key=key))
+        wall += 0.2
+        wseq += 2
+    events.append(ev("cache.write", seq=2, wall=wall, key=key))
+    events.append(ev(terminal, seq=3, wall=wall + 0.1, key=key))
+    return events
+
+
+def test_validate_event_accepts_every_type():
+    for etype in sorted(EVENT_TYPES):
+        event = ev(etype, key="k1")
+        if etype == "fault.injected":
+            event["data"] = {"kind": "flaky"}
+        validate_event(event)
+
+
+@pytest.mark.parametrize("breakage,message", [
+    (lambda e: e.pop("sweep"), "envelope"),
+    (lambda e: e.update(type="spec.exploded"), "unknown event type"),
+    (lambda e: e.update(seq=-1), "bad seq"),
+    (lambda e: e.update(wall="noon"), "bad wall"),
+    (lambda e: e.update(src=""), "bad src"),
+    (lambda e: e.update(data=[1, 2]), "not an object"),
+])
+def test_validate_event_rejects_malformed(breakage, message):
+    event = ev("sweep.start")
+    breakage(event)
+    with pytest.raises(ValueError, match=message):
+        validate_event(event)
+
+
+def test_spec_events_require_a_key():
+    with pytest.raises(ValueError, match="no spec key"):
+        validate_event(ev("spec.completed"))
+
+
+def test_fault_injected_requires_a_kind():
+    with pytest.raises(ValueError, match="names no kind"):
+        validate_event(ev("fault.injected", key="k1"))
+
+
+def test_validate_events_enforces_per_writer_monotonicity():
+    ok = [ev("sweep.start", seq=0, wall=1.0),
+          ev("attempt.start", src="worker-9", seq=0, wall=0.5, key="k"),
+          ev("sweep.end", seq=1, wall=2.0)]
+    assert validate_events(ok) == 3  # cross-writer wall order is free
+
+    with pytest.raises(ValueError, match="non-monotonic seq"):
+        validate_events([ev("sweep.start", seq=1, wall=1.0),
+                         ev("sweep.end", seq=1, wall=2.0)])
+    with pytest.raises(ValueError, match="went backwards"):
+        validate_events([ev("sweep.start", seq=0, wall=2.0),
+                         ev("sweep.end", seq=1, wall=1.0)])
+
+
+def test_envelope_fields_are_stable():
+    assert ENVELOPE_FIELDS == ("type", "sweep", "src", "pid", "seq", "wall")
+
+
+def test_spec_sequences_groups_by_key():
+    events = lifecycle("aaa") + lifecycle("bbb", attempts=2)
+    groups = spec_sequences(events)
+    assert set(groups) == {"aaa", "bbb"}
+    assert [e["type"] for e in groups["aaa"]][0] == "cache.miss"
+
+
+def test_check_spec_sequences_clean_lifecycles():
+    events = (lifecycle("aaa")
+              + lifecycle("bbb", attempts=3)
+              + lifecycle("ccc", terminal="spec.failed"))
+    assert check_spec_sequences(events) == []
+
+
+def test_check_spec_sequences_cache_hit_needs_no_lifecycle():
+    assert check_spec_sequences([ev("cache.hit", key="hit1")]) == []
+
+
+def test_check_spec_sequences_flags_missing_terminal():
+    events = lifecycle("aaa")[:-1]  # drop the terminal
+    problems = check_spec_sequences(events)
+    assert len(problems) == 1
+    assert "terminal" in problems[0]
+
+
+def test_check_spec_sequences_flags_double_submission():
+    events = lifecycle("aaa")
+    events.insert(2, ev("spec.submitted", seq=99, wall=1.15, key="aaa"))
+    assert any("submitted 2 times" in p for p in check_spec_sequences(events))
+
+
+def test_check_spec_sequences_flags_never_attempted():
+    events = [ev("spec.submitted", seq=0, wall=1.0, key="aaa"),
+              ev("spec.failed", seq=1, wall=2.0, key="aaa")]
+    assert any("never attempted" in p for p in check_spec_sequences(events))
+
+
+def test_check_spec_sequences_flags_events_after_terminal():
+    events = lifecycle("aaa")
+    events.append(ev("retry", seq=50, wall=9.0, key="aaa"))
+    assert any("terminal not last" in p for p in check_spec_sequences(events))
+
+
+def test_check_spec_sequences_allows_trailing_cache_write():
+    # cache events are auxiliary: a cache.write after the terminal is fine.
+    events = lifecycle("aaa")
+    events.append(ev("cache.write", seq=50, wall=9.0, key="aaa"))
+    assert check_spec_sequences(events) == []

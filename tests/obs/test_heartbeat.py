@@ -1,0 +1,65 @@
+"""Worker heartbeat records and hang attribution."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs import Heartbeat, attribute, beat, clear, read_heartbeats
+
+
+def test_beat_writes_own_pid_record(tmp_path):
+    beat(tmp_path, key="k1", label="spmv 16", attempt=2)
+    records = read_heartbeats(tmp_path)
+    assert set(records) == {os.getpid()}
+    hb = records[os.getpid()]
+    assert hb.key == "k1"
+    assert hb.label == "spmv 16"
+    assert hb.attempt == 2
+    assert hb.busy
+    assert hb.age(hb.updated + 1.5) == 1.5
+
+
+def test_clear_marks_idle_not_absent(tmp_path):
+    beat(tmp_path, key="k1")
+    clear(tmp_path)
+    hb = read_heartbeats(tmp_path)[os.getpid()]
+    assert not hb.busy
+    assert hb.key == ""
+
+
+def test_rebeat_preserves_started_when_passed(tmp_path):
+    beat(tmp_path, key="k1", started=100.0)
+    hb = read_heartbeats(tmp_path)[os.getpid()]
+    assert hb.started == 100.0
+    assert hb.updated > 100.0
+
+
+def test_read_skips_torn_records(tmp_path):
+    beat(tmp_path, key="ok")
+    (tmp_path / "999.json").write_text('{"pid": 999, "ke')
+    (tmp_path / "998.json").write_text(json.dumps({"key": "nopid"}))
+    assert set(read_heartbeats(tmp_path)) == {os.getpid()}
+
+
+def _hb(pid, key, updated):
+    return Heartbeat(pid=pid, key=key, label="", attempt=1,
+                     started=updated, updated=updated)
+
+
+def test_attribute_names_the_holder():
+    beats = {11: _hb(11, "aaa", 5.0), 22: _hb(22, "bbb", 6.0)}
+    assert attribute(beats, "aaa").pid == 11
+    assert attribute(beats, "bbb").pid == 22
+    assert attribute(beats, "zzz") is None
+
+
+def test_attribute_freshest_wins_on_stale_duplicates():
+    # A retry relaunched the spec on pid 22 while pid 11's record
+    # lingers: the freshest heartbeat is the real holder.
+    beats = {11: _hb(11, "aaa", 5.0), 22: _hb(22, "aaa", 9.0)}
+    assert attribute(beats, "aaa").pid == 22
+
+
+def test_read_heartbeats_missing_dir_is_empty(tmp_path):
+    assert read_heartbeats(tmp_path / "nope") == {}

@@ -1,0 +1,157 @@
+"""JSONL writers, driver/worker merge ordering and the readers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_OBS,
+    ObsLog,
+    ObsWriter,
+    list_sweeps,
+    load_events,
+    load_stats,
+    merge_events,
+    read_events,
+    resolve_sweep_dir,
+    validate_log,
+)
+from repro.obs.log import DRIVER_NAME, MERGED_NAME, STATS_NAME
+
+
+def test_writer_fills_envelope_and_flushes(tmp_path):
+    writer = ObsWriter(tmp_path / "driver.jsonl", sweep_id="s1", src="driver")
+    writer.emit("sweep.start", n_specs=3)
+    writer.emit("spec.submitted", key="k1", label="spmv", attempt=0)
+    # Flushed per line: readable before close.
+    events = list(read_events(tmp_path / "driver.jsonl"))
+    assert [e["type"] for e in events] == ["sweep.start", "spec.submitted"]
+    assert events[0]["sweep"] == "s1"
+    assert events[0]["src"] == "driver"
+    assert events[0]["data"] == {"n_specs": 3}
+    assert events[1]["key"] == "k1"
+    assert "attempt" not in events[1]  # zero values stay off the wire
+    writer.close()
+
+
+def test_writer_wall_clamped_strictly_increasing(tmp_path):
+    writer = ObsWriter(tmp_path / "w.jsonl", sweep_id="s", src="driver")
+    for _ in range(50):
+        writer.emit("sweep.start")
+    writer.close()
+    walls = [e["wall"] for e in read_events(tmp_path / "w.jsonl")]
+    assert all(b > a for a, b in zip(walls, walls[1:]))
+
+
+def test_read_events_skips_torn_final_line(tmp_path):
+    path = tmp_path / "w.jsonl"
+    path.write_text('{"type":"sweep.start","seq":0}\n{"type":"sw')
+    assert [e["seq"] for e in read_events(path)] == [0]
+
+
+def test_merge_is_stable_across_writers(tmp_path):
+    # Interleaved wall clocks across three writers; each writer's own
+    # order must survive, and the global order follows (wall, src, seq).
+    driver = ObsWriter(tmp_path / DRIVER_NAME, sweep_id="s", src="driver")
+    w1 = ObsWriter(tmp_path / "worker-11.jsonl", sweep_id="s",
+                   src="worker-11")
+    w2 = ObsWriter(tmp_path / "worker-22.jsonl", sweep_id="s",
+                   src="worker-22")
+    driver.emit("sweep.start")
+    w1.emit("attempt.start", key="a")
+    w2.emit("attempt.start", key="b")
+    w1.emit("attempt.ok", key="a")
+    driver.emit("spec.completed", key="a")
+    w2.emit("attempt.ok", key="b")
+    driver.emit("spec.completed", key="b")
+    driver.emit("sweep.end")
+    for w in (driver, w1, w2):
+        w.close()
+
+    merged = merge_events(tmp_path)
+    assert len(merged) == 8
+    # Ordered: wall never decreases, per-src seq strictly increases.
+    assert validate_log(tmp_path) == 8
+    for src in ("driver", "worker-11", "worker-22"):
+        seqs = [e["seq"] for e in merged if e["src"] == src]
+        assert seqs == sorted(seqs)
+    assert merged[0]["type"] == "sweep.start"
+    assert merged[-1]["type"] == "sweep.end"
+
+
+def test_merge_tiebreak_on_identical_wall(tmp_path):
+    # Hand-written files with colliding timestamps: (wall, src, seq)
+    # ordering is deterministic.
+    (tmp_path / "worker-2.jsonl").write_text(json.dumps(
+        {"type": "attempt.start", "sweep": "s", "src": "worker-2",
+         "pid": 2, "seq": 0, "wall": 5.0, "key": "k"}) + "\n")
+    (tmp_path / "worker-1.jsonl").write_text("\n".join(json.dumps(e) for e in [
+        {"type": "attempt.start", "sweep": "s", "src": "worker-1",
+         "pid": 1, "seq": 0, "wall": 5.0, "key": "k"},
+        {"type": "attempt.ok", "sweep": "s", "src": "worker-1",
+         "pid": 1, "seq": 1, "wall": 5.0, "key": "k"},
+    ]) + "\n")
+    merged = merge_events(tmp_path)
+    assert [(e["src"], e["seq"]) for e in merged] == [
+        ("worker-1", 0), ("worker-1", 1), ("worker-2", 0)]
+
+
+def test_obslog_finalize_merges_and_counts(tmp_path):
+    log = ObsLog.create(tmp_path)
+    log.emit("sweep.start")
+    # A "worker" file appears next to the driver's.
+    worker = ObsWriter(log.sweep_dir / "worker-777.jsonl",
+                       sweep_id=log.sweep_id, src="worker-777")
+    worker.emit("attempt.start", key="k")
+    worker.emit("attempt.ok", key="k")
+    worker.close()
+    log.emit("sweep.end")
+    n_events, n_bytes = log.finalize()
+    assert n_events == 4
+    merged = log.sweep_dir / MERGED_NAME
+    assert merged.stat().st_size == n_bytes > 0
+    assert [e["type"] for e in load_events(log.sweep_dir)] == [
+        "sweep.start", "attempt.start", "attempt.ok", "sweep.end"]
+
+    log.write_stats({"executed": 1, "events_emitted": n_events})
+    stats = load_stats(log.sweep_dir)
+    assert stats == {"executed": 1, "events_emitted": 4}
+    document = json.loads((log.sweep_dir / STATS_NAME).read_text())
+    assert document["sweep_id"] == log.sweep_id
+
+
+def test_load_events_prefers_merged_file(tmp_path):
+    log = ObsLog.create(tmp_path)
+    log.emit("sweep.start")
+    log.finalize()
+    # New driver events after the merge are not re-read.
+    ObsWriter(log.sweep_dir / "worker-1.jsonl", sweep_id=log.sweep_id,
+              src="worker-1").emit("attempt.start", key="k")
+    assert len(load_events(log.sweep_dir)) == 1
+
+
+def test_resolve_sweep_dir_picks_newest_sweep(tmp_path):
+    first = ObsLog.create(tmp_path)
+    first.emit("sweep.start")
+    second = ObsLog.create(tmp_path)
+    second.emit("sweep.start")
+    assert list_sweeps(tmp_path) == sorted([first.sweep_dir,
+                                            second.sweep_dir])
+    assert resolve_sweep_dir(tmp_path) == second.sweep_dir
+    # A sweep dir itself resolves to itself.
+    assert resolve_sweep_dir(first.sweep_dir) == first.sweep_dir
+
+
+def test_resolve_sweep_dir_raises_when_empty(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        resolve_sweep_dir(tmp_path)
+
+
+def test_null_obs_is_falsy_and_inert(tmp_path):
+    assert not NULL_OBS
+    NULL_OBS.emit("sweep.start", key="k")
+    assert NULL_OBS.finalize() == (0, 0)
+    NULL_OBS.write_stats({"executed": 1})
+    assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,78 @@
+"""Live TTY progress line: rendering, throttling, auto-disable."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import ProgressLine
+
+
+def test_disabled_on_non_tty_stream():
+    line = ProgressLine(10, stream=io.StringIO())
+    assert not line.enabled
+    line.update(done=5, force=True)  # must be a no-op
+
+
+def test_render_counts_and_cache_rate():
+    stream = io.StringIO()
+    line = ProgressLine(40, stream=stream, enabled=True)
+    text = line.render(done=12, running=4, retried=2, failed=1, cached=12)
+    assert text.startswith("sweep 12/40 done")
+    assert "4 running" in text
+    assert "2 retried" in text
+    assert "1 failed" in text
+    assert "cache 30%" in text
+
+
+def test_render_omits_zero_counters():
+    line = ProgressLine(10, stream=io.StringIO(), enabled=True)
+    text = line.render(done=3, running=0, retried=0, failed=0, cached=0)
+    assert "running" not in text
+    assert "retried" not in text
+    assert "failed" not in text
+    assert "cache 0%" in text
+
+
+def test_update_rewrites_in_place_and_close_erases():
+    stream = io.StringIO()
+    line = ProgressLine(4, stream=stream, enabled=True, min_interval=0.0)
+    line.update(done=1, force=True)
+    line.update(done=2, force=True)
+    out = stream.getvalue()
+    assert out.count("\r") == 2  # carriage-return rewrite, no newlines
+    assert "\n" not in out
+    line.close()
+    assert stream.getvalue().endswith("\r")
+
+
+def test_throttle_skips_rapid_updates():
+    stream = io.StringIO()
+    line = ProgressLine(100, stream=stream, enabled=True, min_interval=60.0)
+    line.update(done=1, force=True)
+    first = stream.getvalue()
+    line.update(done=2)  # within min_interval: dropped
+    assert stream.getvalue() == first
+    line.update(done=3, force=True)
+    assert stream.getvalue() != first
+
+
+def test_eta_follows_the_ema_rate():
+    line = ProgressLine(100, stream=io.StringIO(), enabled=True)
+    assert line.eta_seconds(50) is None  # no rate observed yet
+    line._rate = 10.0
+    assert line.eta_seconds(50) == 5.0
+    assert line.eta_seconds(100) == 0.0
+
+
+def test_write_errors_self_disable():
+    class Broken(io.StringIO):
+        def write(self, *_):
+            raise OSError("gone")
+
+    line = ProgressLine(10, stream=Broken(), enabled=True, min_interval=0.0)
+    line.update(done=1, force=True)
+    assert not line.enabled
+
+
+def test_zero_total_disables():
+    assert not ProgressLine(0, stream=io.StringIO(), enabled=True).enabled

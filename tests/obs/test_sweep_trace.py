@@ -1,0 +1,133 @@
+"""Sweep-level chrome-trace export from an obs event log."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import SWEEP_TRACE_SCHEMA, sweep_trace, write_sweep_trace
+
+
+def _ev(etype, wall, *, src="driver", key="", attempt=0, **data):
+    event = {"type": etype, "sweep": "s1", "src": src, "pid": 1,
+             "seq": 0, "wall": wall}
+    if key:
+        event["key"] = key
+    if attempt:
+        event["attempt"] = attempt
+    if data:
+        event["data"] = data
+    return event
+
+
+EVENTS = [
+    _ev("sweep.start", 10.0),
+    _ev("cache.miss", 10.001, key="aaa111222333"),
+    _ev("spec.submitted", 10.002, key="aaa111222333"),
+    _ev("attempt.start", 10.01, src="worker-7", key="aaa111222333",
+        attempt=1),
+    _ev("fault.injected", 10.02, src="worker-7", key="aaa111222333",
+        attempt=1, kind="flaky"),
+    _ev("attempt.error", 10.03, src="worker-7", key="aaa111222333",
+        attempt=1, category="transient", seconds=0.02),
+    _ev("retry", 10.04, key="aaa111222333", attempt=1, delay=0.01),
+    _ev("attempt.start", 10.06, src="worker-7", key="aaa111222333",
+        attempt=2),
+    _ev("attempt.ok", 10.09, src="worker-7", key="aaa111222333",
+        attempt=2, seconds=0.03),
+    _ev("cache.write", 10.091, key="aaa111222333"),
+    _ev("spec.completed", 10.092, key="aaa111222333", attempt=2),
+    _ev("sweep.end", 10.1),
+]
+
+
+def test_document_shape_and_schema():
+    doc = sweep_trace(EVENTS)
+    assert doc["otherData"]["schema"] == SWEEP_TRACE_SCHEMA
+    assert doc["otherData"]["sweep_id"] == "s1"
+    assert doc["otherData"]["n_events"] == len(EVENTS)
+    assert doc["otherData"]["n_spans"] == 2
+    events = doc["traceEvents"]
+    # Metadata first: process_name + one thread_name per track.
+    assert events[0]["args"]["name"] == "sweep: s1"
+    names = [e["args"]["name"] for e in events if e["ph"] == "M"
+             and e["name"] == "thread_name"]
+    assert names[0] == "driver"  # the driver always owns track 1
+    assert "worker-7" in names
+    assert "cache" in names
+
+
+def test_attempt_spans_and_timestamps():
+    doc = sweep_trace(EVENTS)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 2
+    first, second = sorted(spans, key=lambda s: s["ts"])
+    # ts is wall-microseconds since the first event.
+    assert first["ts"] == 10_000.0
+    assert first["dur"] == 20_000.0
+    assert first["args"]["outcome"] == "error"
+    assert first["args"]["category"] == "transient"
+    assert first["args"]["attempt"] == 1
+    assert second["args"]["outcome"] == "ok"
+    assert second["args"]["key"] == "aaa111222333"[:12]
+    # The timeline (non-meta events) is sorted by ts.
+    timeline = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert [e["ts"] for e in timeline] == sorted(e["ts"] for e in timeline)
+
+
+def test_instants_cover_faults_retries_and_cache():
+    doc = sweep_trace(EVENTS)
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    by_name = {e["name"] for e in instants}
+    assert by_name == {"fault: flaky", "retry", "miss", "write"}
+    fault = next(e for e in instants if e["name"] == "fault: flaky")
+    retry = next(e for e in instants if e["name"] == "retry")
+    # The fault instant sits on the tripping worker's track, the retry
+    # on the driver's.
+    tid_of = {e["args"]["name"]: e["tid"] for e in doc["traceEvents"]
+              if e.get("name") == "thread_name"}
+    assert fault["tid"] == tid_of["worker-7"]
+    assert retry["tid"] == tid_of["driver"]
+
+
+def test_worker_crash_closes_the_orphaned_span():
+    events = [
+        _ev("sweep.start", 1.0),
+        _ev("attempt.start", 1.1, src="worker-9", key="dead", attempt=1),
+        _ev("worker.crash", 1.5, key="dead", attempt=1, worker_pid=9),
+        _ev("sweep.end", 1.6),
+    ]
+    doc = sweep_trace(events)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 1
+    assert spans[0]["args"]["outcome"] == "crash"
+    assert spans[0]["dur"] == 400_000.0
+    # The crash still lands as a driver instant too.
+    assert any(e["name"] == "worker crash" for e in doc["traceEvents"]
+               if e["ph"] == "i")
+
+
+def test_unclosed_span_closes_at_log_end():
+    events = [
+        _ev("sweep.start", 1.0),
+        _ev("attempt.start", 1.1, src="worker-9", key="wedged", attempt=1),
+        _ev("sweep.end", 2.0),
+    ]
+    spans = [e for e in sweep_trace(events)["traceEvents"]
+             if e["ph"] == "X"]
+    assert len(spans) == 1
+    assert spans[0]["args"]["outcome"] == "crash"
+    assert spans[0]["dur"] == 900_000.0
+
+
+def test_write_sweep_trace_is_valid_json(tmp_path):
+    out = tmp_path / "trace.json"
+    write_sweep_trace(EVENTS, out)
+    doc = json.loads(out.read_text())
+    assert doc["otherData"]["schema"] == SWEEP_TRACE_SCHEMA
+    assert doc["traceEvents"]
+
+
+def test_empty_log_yields_empty_timeline():
+    doc = sweep_trace([])
+    assert doc["otherData"]["n_spans"] == 0
+    assert all(e["ph"] == "M" for e in doc["traceEvents"])
